@@ -1,0 +1,44 @@
+// Command hermes-cli sends one command to a hermes-node client port and
+// prints the reply.
+//
+//	hermes-cli -addr 127.0.0.1:8100 SET user:1 alice
+//	hermes-cli -addr 127.0.0.1:8101 GET user:1
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8100", "hermes-node client address")
+	timeout := flag.Duration("timeout", 10*time.Second, "request timeout")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hermes-cli [-addr host:port] GET|SET|CAS|FAA args...")
+		os.Exit(2)
+	}
+	conn, err := net.DialTimeout("tcp", *addr, *timeout)
+	if err != nil {
+		log.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(*timeout))
+	if _, err := fmt.Fprintln(conn, strings.Join(flag.Args(), " ")); err != nil {
+		log.Fatalf("send: %v", err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		log.Fatalf("recv: %v", err)
+	}
+	fmt.Print(line)
+	if strings.HasPrefix(line, "ERR") {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/proto"
+)
+
+func TestHashKeyNumericPassthrough(t *testing.T) {
+	if hashKey("42") != 42 {
+		t.Fatal("numeric keys must map to themselves")
+	}
+	if hashKey("18446744073709551615") != proto.Key(^uint64(0)) {
+		t.Fatal("max uint64 key")
+	}
+}
+
+func TestHashKeyStringsStableAndSpread(t *testing.T) {
+	a, b := hashKey("user:1"), hashKey("user:2")
+	if a == b {
+		t.Fatal("distinct strings collided (astronomically unlikely)")
+	}
+	if a != hashKey("user:1") {
+		t.Fatal("hash not stable")
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	addrs, ids, err := parsePeers("1=127.0.0.1:7001, 0=127.0.0.1:7000,2=127.0.0.1:7002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 0 || ids[2] != 2 {
+		t.Fatalf("ids=%v (must be sorted)", ids)
+	}
+	if addrs[1] != "127.0.0.1:7001" {
+		t.Fatalf("addrs=%v", addrs)
+	}
+	for _, bad := range []string{"x", "a=1=2extra,", "300=127.0.0.1:1"} {
+		if _, _, err := parsePeers(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+// End-to-end text protocol against a single-replica node.
+func TestServeClientProtocol(t *testing.T) {
+	tr := cluster.NewChanTransport([]proto.NodeID{0})
+	defer tr.Close()
+	node := cluster.NewNode(cluster.NodeConfig{
+		ID: 0, View: proto.View{Epoch: 1, Members: []proto.NodeID{0}},
+	}, tr)
+	defer node.Close()
+
+	server, client := net.Pipe()
+	go serveClient(server, node)
+	defer client.Close()
+	rd := bufio.NewReader(client)
+	send := func(line string) string {
+		t.Helper()
+		client.SetDeadline(time.Now().Add(5 * time.Second))
+		if _, err := client.Write([]byte(line + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := rd.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(resp)
+	}
+
+	if got := send("SET greeting hello world"); got != "OK" {
+		t.Fatalf("SET: %q", got)
+	}
+	if got := send("GET greeting"); got != "OK hello world" {
+		t.Fatalf("GET: %q", got)
+	}
+	if got := send("CAS greeting wrong new"); !strings.HasPrefix(got, "FAIL hello") {
+		t.Fatalf("CAS fail: %q", got)
+	}
+	if got := send("FAA counter 5"); got != "OK 0" {
+		t.Fatalf("FAA: %q", got)
+	}
+	if got := send("FAA counter 2"); got != "OK 5" {
+		t.Fatalf("FAA2: %q", got)
+	}
+	if got := send("BOGUS"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("BOGUS: %q", got)
+	}
+	if got := send("GET"); !strings.HasPrefix(got, "ERR usage") {
+		t.Fatalf("GET no args: %q", got)
+	}
+}

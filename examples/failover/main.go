@@ -1,0 +1,76 @@
+// Failover: the §3.5 / Figure 4 scenario end-to-end on the simulator with
+// reliable membership enabled — a replica crashes mid-write, the membership
+// reconfigures after suspicion + lease expiry, a write replay completes the
+// failed coordinator's write, and the group keeps serving.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	c := sim.New(sim.Config{
+		Nodes: 5,
+		Factory: func(id proto.NodeID, view proto.View, env proto.Env) proto.Replica {
+			return core.New(core.Config{ID: id, View: view, Env: env, MLT: 2 * time.Millisecond})
+		},
+		Net:  sim.DefaultNet(),
+		Seed: 1,
+		RM: &sim.RMParams{
+			HeartbeatEvery: 200 * time.Microsecond,
+			SuspectAfter:   time.Millisecond,
+			LeaseDur:       2 * time.Millisecond,
+		},
+	})
+
+	fmt.Println("5-replica Hermes group; node 4 will crash at t=10ms.")
+	c.CrashAt(4, 10*time.Millisecond)
+
+	res := c.RunWorkload(sim.WorkloadParams{
+		Workload:        workload.Config{Keys: 1 << 12, WriteRatio: 0.05, ValueSize: 32},
+		SessionsPerNode: 4,
+		Duration:        30 * time.Millisecond,
+		SeriesBucket:    time.Millisecond,
+	})
+
+	fmt.Printf("m-updates installed across replicas: %d\n", c.ViewChanges)
+	fmt.Println("throughput over time (ops per 1ms bucket):")
+	for i, n := range res.Series.Buckets() {
+		marker := ""
+		if i == 10 {
+			marker = "   <- crash"
+		}
+		bar := int(n / 150)
+		fmt.Printf("  %2dms %6d %s%s\n", i, n, stars(bar), marker)
+	}
+
+	var replays, retrans uint64
+	for id := proto.NodeID(0); id < 4; id++ {
+		m := c.Replica(id).(*core.Hermes).Metrics()
+		replays += m.Replays
+		retrans += m.Retransmits
+	}
+	fmt.Printf("write replays: %d, INV retransmissions: %d\n", replays, retrans)
+	fmt.Println("the dip is writes blocked on the dead node's ACKs; recovery is the")
+	fmt.Println("m-update (suspicion + lease expiry) after which pending writes commit")
+	fmt.Println("against the 4-node membership and stuck keys are replayed (paper §3.4).")
+}
+
+func stars(n int) string {
+	if n > 60 {
+		n = 60
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '*'
+	}
+	return string(out)
+}

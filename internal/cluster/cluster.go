@@ -1,0 +1,407 @@
+// Package cluster is the live runtime: it hosts the same protocol state
+// machines the simulator runs, but on goroutines with real time and a
+// pluggable transport — an in-process channel mesh for single-binary
+// deployments and tests, or TCP via internal/transport for a real
+// distributed deployment (cmd/hermes-node). This is the library surface a
+// downstream user embeds: NewLocal to stand up a replica group, Client for
+// blocking linearizable reads, writes and RMWs.
+//
+// Architecture: each replica runs one event-loop goroutine that owns the
+// protocol state machine (Submit/Deliver/Tick/OnViewChange are never called
+// concurrently). Local linearizable reads take the HermesKV fast path
+// (§4.1): they consult the shared kvs.Store directly and only enter the
+// event loop when the key is not Valid.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kvs"
+	"repro/internal/proto"
+)
+
+// Transport delivers messages between replica processes.
+type Transport interface {
+	// Send delivers msg from one node to another; best-effort (the
+	// protocols tolerate loss).
+	Send(from, to proto.NodeID, msg any)
+	// SetDeliver installs the arrival callback for node id.
+	SetDeliver(id proto.NodeID, fn func(from proto.NodeID, msg any))
+	// Close releases resources.
+	Close() error
+}
+
+// ChanTransport is an in-process mesh of buffered channels with optional
+// fault injection, for tests and single-binary clusters.
+type ChanTransport struct {
+	mu      sync.RWMutex
+	inboxes map[proto.NodeID]chan env
+	deliver map[proto.NodeID]func(proto.NodeID, any)
+	drop    atomic.Pointer[func(from, to proto.NodeID, msg any) bool]
+	closed  chan struct{}
+	wg      sync.WaitGroup
+}
+
+type env struct {
+	from proto.NodeID
+	msg  any
+}
+
+// NewChanTransport builds a mesh for the given node IDs.
+func NewChanTransport(ids []proto.NodeID) *ChanTransport {
+	t := &ChanTransport{
+		inboxes: make(map[proto.NodeID]chan env),
+		deliver: make(map[proto.NodeID]func(proto.NodeID, any)),
+		closed:  make(chan struct{}),
+	}
+	for _, id := range ids {
+		t.inboxes[id] = make(chan env, 4096)
+	}
+	return t
+}
+
+// SetDrop installs a fault-injection predicate (nil clears).
+func (t *ChanTransport) SetDrop(fn func(from, to proto.NodeID, msg any) bool) {
+	if fn == nil {
+		t.drop.Store(nil)
+		return
+	}
+	t.drop.Store(&fn)
+}
+
+// Send implements Transport.
+func (t *ChanTransport) Send(from, to proto.NodeID, msg any) {
+	if d := t.drop.Load(); d != nil && (*d)(from, to, msg) {
+		return
+	}
+	t.mu.RLock()
+	ch := t.inboxes[to]
+	t.mu.RUnlock()
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- env{from: from, msg: msg}:
+	case <-t.closed:
+	default:
+		// Full inbox: drop (the protocols' retransmission recovers). This
+		// models bounded NIC queues rather than blocking the sender.
+	}
+}
+
+// SetDeliver implements Transport and starts the pump goroutine.
+func (t *ChanTransport) SetDeliver(id proto.NodeID, fn func(proto.NodeID, any)) {
+	t.mu.Lock()
+	t.deliver[id] = fn
+	ch := t.inboxes[id]
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for {
+			select {
+			case e := <-ch:
+				fn(e.from, e.msg)
+			case <-t.closed:
+				return
+			}
+		}
+	}()
+}
+
+// Close implements Transport.
+func (t *ChanTransport) Close() error {
+	select {
+	case <-t.closed:
+	default:
+		close(t.closed)
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// Node hosts one replica on an event-loop goroutine.
+type Node struct {
+	id     proto.NodeID
+	h      *core.Hermes
+	store  *kvs.Store
+	tr     Transport
+	ops    chan proto.ClientOp
+	msgs   chan env
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	nextOp atomic.Uint64
+
+	mu      sync.Mutex
+	waiters map[uint64]chan proto.Completion
+
+	noLSC bool
+	oper  atomic.Bool // mirrors membership state for the lock-free read path
+	start time.Time
+}
+
+// nodeEnv adapts the Node to proto.Env. Only the event-loop goroutine
+// invokes it.
+type nodeEnv struct{ n *Node }
+
+func (e nodeEnv) Now() time.Duration { return time.Since(e.n.start) }
+func (e nodeEnv) Send(to proto.NodeID, msg any) {
+	e.n.tr.Send(e.n.id, to, msg)
+}
+func (e nodeEnv) Complete(c proto.Completion) {
+	e.n.mu.Lock()
+	ch := e.n.waiters[c.OpID]
+	delete(e.n.waiters, c.OpID)
+	e.n.mu.Unlock()
+	if ch != nil {
+		ch <- c
+	}
+}
+
+// NodeConfig parameterizes one live replica.
+type NodeConfig struct {
+	ID   proto.NodeID
+	View proto.View
+	MLT  time.Duration
+	// Hermes toggles (see core.Config).
+	ElideVAL, EarlyACKs, NoLSC bool
+	TickEvery                  time.Duration
+}
+
+// NewNode builds and starts a live Hermes replica on tr.
+func NewNode(cfg NodeConfig, tr Transport) *Node {
+	if cfg.MLT <= 0 {
+		cfg.MLT = 20 * time.Millisecond
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 2 * time.Millisecond
+	}
+	st := kvs.New(64)
+	n := &Node{
+		id:      cfg.ID,
+		store:   st,
+		tr:      tr,
+		ops:     make(chan proto.ClientOp, 1024),
+		msgs:    make(chan env, 8192),
+		stop:    make(chan struct{}),
+		waiters: make(map[uint64]chan proto.Completion),
+		noLSC:   cfg.NoLSC,
+		start:   time.Now(),
+	}
+	n.h = core.New(core.Config{
+		ID: cfg.ID, View: cfg.View, Env: nodeEnv{n: n}, Store: st,
+		MLT: cfg.MLT, ElideVAL: cfg.ElideVAL, EarlyACKs: cfg.EarlyACKs, NoLSC: cfg.NoLSC,
+	})
+	n.oper.Store(true)
+	tr.SetDeliver(cfg.ID, func(from proto.NodeID, msg any) {
+		select {
+		case n.msgs <- env{from: from, msg: msg}:
+		case <-n.stop:
+		}
+	})
+	n.wg.Add(1)
+	go n.loop(cfg.TickEvery)
+	return n
+}
+
+func (n *Node) loop(tickEvery time.Duration) {
+	defer n.wg.Done()
+	ticker := time.NewTicker(tickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case e := <-n.msgs:
+			if fn, ok := e.msg.(loopFn); ok {
+				fn()
+				break
+			}
+			n.h.Deliver(e.from, e.msg)
+		case op := <-n.ops:
+			n.h.Submit(op)
+		case <-ticker.C:
+			n.h.Tick()
+		}
+	}
+}
+
+// ID returns the node's ID.
+func (n *Node) ID() proto.NodeID { return n.id }
+
+// Hermes exposes the protocol instance (metrics, view).
+func (n *Node) Hermes() *core.Hermes { return n.h }
+
+// InstallView delivers an m-update to the replica.
+func (n *Node) InstallView(v proto.View) {
+	done := make(chan struct{})
+	n.enqueueFn(func() { n.h.OnViewChange(v); close(done) })
+	<-done
+	n.oper.Store(v.Contains(n.id))
+}
+
+// enqueueFn runs fn on the event loop by disguising it as a message.
+func (n *Node) enqueueFn(fn func()) {
+	select {
+	case n.msgs <- env{from: n.id, msg: loopFn(fn)}:
+	case <-n.stop:
+	}
+}
+
+// loopFn is an internal message type executed by Deliver interception.
+type loopFn func()
+
+// Close stops the node.
+func (n *Node) Close() {
+	select {
+	case <-n.stop:
+	default:
+		close(n.stop)
+	}
+	n.wg.Wait()
+}
+
+// ErrClosed reports an operation on a stopped node.
+var ErrClosed = errors.New("cluster: node closed")
+
+// Read performs a linearizable read. Valid keys are served lock-free from
+// the store (the HermesKV fast path); otherwise the op goes through the
+// event loop and stalls until the key validates.
+func (n *Node) Read(ctx context.Context, key proto.Key) (proto.Value, error) {
+	// The fast path must not bypass the §8 membership proof under NoLSC.
+	if e, ok := n.store.Get(key); ok && e.State.Readable() && n.oper.Load() && !n.noLSC {
+		return e.Value, nil
+	}
+	c, err := n.do(ctx, proto.ClientOp{Kind: proto.OpRead, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return c.Value, nil
+}
+
+// Write performs a linearizable write.
+func (n *Node) Write(ctx context.Context, key proto.Key, val proto.Value) error {
+	_, err := n.do(ctx, proto.ClientOp{Kind: proto.OpWrite, Key: key, Value: val})
+	return err
+}
+
+// CAS performs a compare-and-swap; swapped=false with err==nil means the
+// comparand mismatched and observed holds the current value.
+func (n *Node) CAS(ctx context.Context, key proto.Key, expect, val proto.Value) (swapped bool, observed proto.Value, err error) {
+	c, err := n.do(ctx, proto.ClientOp{Kind: proto.OpCAS, Key: key, Expected: expect, Value: val})
+	if err != nil {
+		return false, nil, err
+	}
+	switch c.Status {
+	case proto.OK:
+		return true, nil, nil
+	case proto.CASFailed:
+		return false, c.Value, nil
+	case proto.Aborted:
+		return false, nil, ErrAborted
+	default:
+		return false, nil, fmt.Errorf("cluster: cas: %v", c.Status)
+	}
+}
+
+// FAA atomically adds delta and returns the prior value. ErrAborted is
+// returned when the RMW lost to a concurrent update; callers retry.
+func (n *Node) FAA(ctx context.Context, key proto.Key, delta int64) (int64, error) {
+	c, err := n.do(ctx, proto.ClientOp{Kind: proto.OpFAA, Key: key, Value: proto.EncodeInt64(delta)})
+	if err != nil {
+		return 0, err
+	}
+	if c.Status == proto.Aborted {
+		return 0, ErrAborted
+	}
+	return proto.DecodeInt64(c.Value), nil
+}
+
+// ErrAborted reports an RMW that lost to a concurrent conflicting update
+// (paper §3.6); the operation had no effect and may be retried.
+var ErrAborted = errors.New("cluster: rmw aborted by concurrent update")
+
+// ErrNotOperational reports a replica without a valid membership lease.
+var ErrNotOperational = errors.New("cluster: replica not operational")
+
+func (n *Node) do(ctx context.Context, op proto.ClientOp) (proto.Completion, error) {
+	op.ID = n.nextOp.Add(1)
+	ch := make(chan proto.Completion, 1)
+	n.mu.Lock()
+	n.waiters[op.ID] = ch
+	n.mu.Unlock()
+	select {
+	case n.ops <- op:
+	case <-ctx.Done():
+		n.forget(op.ID)
+		return proto.Completion{}, ctx.Err()
+	case <-n.stop:
+		return proto.Completion{}, ErrClosed
+	}
+	select {
+	case c := <-ch:
+		if c.Status == proto.NotOperational {
+			return c, ErrNotOperational
+		}
+		return c, nil
+	case <-ctx.Done():
+		n.forget(op.ID)
+		return proto.Completion{}, ctx.Err()
+	case <-n.stop:
+		return proto.Completion{}, ErrClosed
+	}
+}
+
+func (n *Node) forget(id uint64) {
+	n.mu.Lock()
+	delete(n.waiters, id)
+	n.mu.Unlock()
+}
+
+// Local is a single-process replica group over a ChanTransport: the
+// quickstart deployment and the fixture for live tests.
+type Local struct {
+	Nodes []*Node
+	Tr    *ChanTransport
+}
+
+// LocalConfig parameterizes NewLocal.
+type LocalConfig struct {
+	N         int
+	MLT       time.Duration
+	ElideVAL  bool
+	EarlyACKs bool
+	NoLSC     bool
+}
+
+// NewLocal stands up an n-replica Hermes group in-process.
+func NewLocal(cfg LocalConfig) *Local {
+	ids := make([]proto.NodeID, cfg.N)
+	for i := range ids {
+		ids[i] = proto.NodeID(i)
+	}
+	view := proto.View{Epoch: 1, Members: ids}
+	tr := NewChanTransport(ids)
+	l := &Local{Tr: tr}
+	for _, id := range ids {
+		l.Nodes = append(l.Nodes, NewNode(NodeConfig{
+			ID: id, View: view, MLT: cfg.MLT,
+			ElideVAL: cfg.ElideVAL, EarlyACKs: cfg.EarlyACKs, NoLSC: cfg.NoLSC,
+		}, tr))
+	}
+	return l
+}
+
+// Close stops all nodes and the transport.
+func (l *Local) Close() {
+	for _, n := range l.Nodes {
+		n.Close()
+	}
+	l.Tr.Close()
+}

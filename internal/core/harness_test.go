@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/kvs"
+	"repro/internal/proto"
+)
+
+// harness wires a group of Hermes replicas to an in-memory message pool with
+// full test control over delivery order, loss and duplication, plus a
+// manually advanced clock. It is the protocol-level equivalent of the TLA+
+// model's nondeterministic scheduler.
+type harness struct {
+	t     *testing.T
+	now   time.Duration
+	nodes map[proto.NodeID]*Hermes
+	view  proto.View
+	// msgs is the in-flight message pool in send order.
+	msgs []envelope
+	done map[proto.NodeID][]proto.Completion
+	// crashed nodes drop all deliveries.
+	crashed map[proto.NodeID]bool
+	nextOp  uint64
+}
+
+type envelope struct {
+	from, to proto.NodeID
+	msg      any
+}
+
+type testEnv struct {
+	h  *harness
+	id proto.NodeID
+}
+
+func (e *testEnv) Now() time.Duration { return e.h.now }
+func (e *testEnv) Send(to proto.NodeID, m any) {
+	e.h.msgs = append(e.h.msgs, envelope{from: e.id, to: to, msg: m})
+}
+func (e *testEnv) Complete(c proto.Completion) {
+	e.h.done[e.id] = append(e.h.done[e.id], c)
+}
+
+// newHarness builds n replicas with IDs 0..n-1 in a single view. mutate, if
+// non-nil, adjusts each replica's Config before construction.
+func newHarness(t *testing.T, n int, mutate func(*Config)) *harness {
+	t.Helper()
+	members := make([]proto.NodeID, n)
+	for i := range members {
+		members[i] = proto.NodeID(i)
+	}
+	view := proto.View{Epoch: 1, Members: members}
+	h := &harness{
+		t:       t,
+		nodes:   make(map[proto.NodeID]*Hermes),
+		view:    view,
+		done:    make(map[proto.NodeID][]proto.Completion),
+		crashed: make(map[proto.NodeID]bool),
+	}
+	for _, id := range members {
+		cfg := Config{
+			ID:   id,
+			View: view,
+			Env:  &testEnv{h: h, id: id},
+			MLT:  10 * time.Millisecond,
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		h.nodes[id] = New(cfg)
+	}
+	return h
+}
+
+// addLearner constructs an extra replica as a shadow (learner) and installs
+// a new view listing it at every live node.
+func (h *harness) addLearner(id proto.NodeID) *Hermes {
+	h.t.Helper()
+	nv := h.view.Clone()
+	nv.Epoch++
+	nv.Learners = append(nv.Learners, id)
+	cfg := Config{ID: id, View: nv, Env: &testEnv{h: h, id: id}, MLT: 10 * time.Millisecond, Learner: true}
+	l := New(cfg)
+	h.nodes[id] = l
+	h.installView(nv)
+	return l
+}
+
+// installView delivers an m-update to every live node.
+func (h *harness) installView(v proto.View) {
+	h.view = v
+	for id, n := range h.nodes {
+		if !h.crashed[id] {
+			n.OnViewChange(v)
+		}
+	}
+}
+
+// crash stops a node: all its in-flight and future messages are dropped.
+func (h *harness) crash(id proto.NodeID) {
+	h.crashed[id] = true
+	h.dropWhere(func(e envelope) bool { return e.to == id || e.from == id })
+}
+
+// removeFromView installs a view without the given node (the m-update after
+// lease expiry, §3.4).
+func (h *harness) removeFromView(id proto.NodeID) {
+	nv := proto.View{Epoch: h.view.Epoch + 1}
+	for _, m := range h.view.Members {
+		if m != id {
+			nv.Members = append(nv.Members, m)
+		}
+	}
+	for _, l := range h.view.Learners {
+		if l != id {
+			nv.Learners = append(nv.Learners, l)
+		}
+	}
+	h.installView(nv)
+}
+
+// step delivers the oldest in-flight message. Returns false if none remain.
+func (h *harness) step() bool {
+	for len(h.msgs) > 0 {
+		e := h.msgs[0]
+		h.msgs = h.msgs[1:]
+		if h.crashed[e.to] || h.crashed[e.from] {
+			continue
+		}
+		if n, ok := h.nodes[e.to]; ok {
+			n.Deliver(e.from, e.msg)
+			return true
+		}
+	}
+	return false
+}
+
+// run delivers messages FIFO until the network is quiet.
+func (h *harness) run() {
+	for i := 0; ; i++ {
+		if !h.step() {
+			return
+		}
+		if i > 1_000_000 {
+			h.t.Fatal("harness: message storm (protocol not quiescing)")
+		}
+	}
+}
+
+// runShuffled delivers all messages in a random order drawn from rng,
+// including messages generated along the way.
+func (h *harness) runShuffled(rng *rand.Rand) {
+	for i := 0; len(h.msgs) > 0; i++ {
+		j := rng.Intn(len(h.msgs))
+		h.msgs[0], h.msgs[j] = h.msgs[j], h.msgs[0]
+		if !h.step() {
+			return
+		}
+		if i > 1_000_000 {
+			h.t.Fatal("harness: message storm")
+		}
+	}
+}
+
+// dropWhere removes in-flight messages matching the predicate and returns
+// how many were dropped.
+func (h *harness) dropWhere(match func(envelope) bool) int {
+	kept := h.msgs[:0]
+	dropped := 0
+	for _, e := range h.msgs {
+		if match(e) {
+			dropped++
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	h.msgs = kept
+	return dropped
+}
+
+// duplicateAll duplicates every in-flight message.
+func (h *harness) duplicateAll() {
+	h.msgs = append(h.msgs, h.msgs...)
+}
+
+// advance moves the clock and ticks every live node.
+func (h *harness) advance(d time.Duration) {
+	h.now += d
+	for id, n := range h.nodes {
+		if !h.crashed[id] {
+			n.Tick()
+		}
+	}
+}
+
+func (h *harness) submit(id proto.NodeID, op proto.ClientOp) uint64 {
+	h.nextOp++
+	op.ID = h.nextOp
+	h.nodes[id].Submit(op)
+	return h.nextOp
+}
+
+func (h *harness) write(id proto.NodeID, key proto.Key, val string) uint64 {
+	return h.submit(id, proto.ClientOp{Kind: proto.OpWrite, Key: key, Value: proto.Value(val)})
+}
+
+func (h *harness) read(id proto.NodeID, key proto.Key) uint64 {
+	return h.submit(id, proto.ClientOp{Kind: proto.OpRead, Key: key})
+}
+
+func (h *harness) faa(id proto.NodeID, key proto.Key, delta int64) uint64 {
+	return h.submit(id, proto.ClientOp{Kind: proto.OpFAA, Key: key, Value: proto.EncodeInt64(delta)})
+}
+
+func (h *harness) cas(id proto.NodeID, key proto.Key, expect, val string) uint64 {
+	return h.submit(id, proto.ClientOp{Kind: proto.OpCAS, Key: key, Expected: proto.Value(expect), Value: proto.Value(val)})
+}
+
+// completion returns the completion for opID at node id, or fails the test.
+func (h *harness) completion(id proto.NodeID, opID uint64) proto.Completion {
+	h.t.Helper()
+	for _, c := range h.done[id] {
+		if c.OpID == opID {
+			return c
+		}
+	}
+	h.t.Fatalf("node %d: no completion for op %d (have %v)", id, opID, h.done[id])
+	return proto.Completion{}
+}
+
+// hasCompletion reports whether opID completed at node id.
+func (h *harness) hasCompletion(id proto.NodeID, opID uint64) bool {
+	for _, c := range h.done[id] {
+		if c.OpID == opID {
+			return true
+		}
+	}
+	return false
+}
+
+// entry reads a key's record directly from a node's store.
+func (h *harness) entry(id proto.NodeID, key proto.Key) kvs.Entry {
+	e, _ := h.nodes[id].Store().Get(key)
+	return e
+}
+
+// requireConverged asserts every live serving node holds the same Valid
+// (value, ts) for the key and returns that entry.
+func (h *harness) requireConverged(key proto.Key) kvs.Entry {
+	h.t.Helper()
+	var ref kvs.Entry
+	first := true
+	for _, id := range h.view.Members {
+		if h.crashed[id] {
+			continue
+		}
+		e := h.entry(id, key)
+		if e.State != kvs.Valid {
+			h.t.Fatalf("node %d: key %d not Valid (state=%v ts=%v)", id, key, e.State, e.TS)
+		}
+		if first {
+			ref = e
+			first = false
+			continue
+		}
+		if e.TS != ref.TS || string(e.Value) != string(ref.Value) {
+			h.t.Fatalf("divergence on key %d: node %d has (%q,%v) vs (%q,%v)",
+				key, id, e.Value, e.TS, ref.Value, ref.TS)
+		}
+	}
+	return ref
+}
+
+// forceConverge drives request-triggered recovery: replay timers in Hermes
+// arm when a request touches an Invalid key (§3.4), so after message loss a
+// quiet key can legitimately sit Invalid until someone asks for it. This
+// issues reads at every non-Valid replica and ticks until all are Valid.
+func (h *harness) forceConverge(key proto.Key) {
+	h.t.Helper()
+	for i := 0; i < 100; i++ {
+		allValid := true
+		for _, id := range h.view.Members {
+			if h.crashed[id] {
+				continue
+			}
+			if e := h.entry(id, key); e.State != kvs.Valid {
+				allValid = false
+				h.read(id, key)
+			}
+		}
+		if allValid {
+			return
+		}
+		h.advance(15 * time.Millisecond)
+		h.run()
+	}
+	h.t.Fatalf("key %d never converged", key)
+}
+
+// requireNoInflight asserts the network is quiet.
+func (h *harness) requireNoInflight() {
+	h.t.Helper()
+	if len(h.msgs) != 0 {
+		h.t.Fatalf("%d messages still in flight: %v", len(h.msgs), describe(h.msgs))
+	}
+}
+
+func describe(msgs []envelope) string {
+	s := ""
+	for i, e := range msgs {
+		if i > 5 {
+			return s + "..."
+		}
+		s += fmt.Sprintf("[%d->%d %T]", e.from, e.to, e.msg)
+	}
+	return s
+}

@@ -1,0 +1,894 @@
+// Package core implements the Hermes replication protocol — the paper's
+// primary contribution (§3): a membership-based, broadcast, invalidation
+// protocol with per-key logical timestamps that provides
+//
+//   - linearizable local reads at every replica,
+//   - decentralized, inter-key-concurrent, non-conflicting writes that
+//     commit after one round-trip of INV/ACK (plus an off-critical-path VAL),
+//   - conflicting single-key RMWs (§3.6),
+//   - fault tolerance through safely replayable writes (§3.1, §3.4).
+//
+// A Hermes replica is a deterministic single-threaded state machine
+// implementing proto.Replica; the same code runs under the discrete-event
+// simulator (internal/sim) and the live goroutine runtime
+// (internal/cluster). Optimizations O1 (VAL elision), O2 (virtual node IDs)
+// and O3 (broadcast ACKs) from §3.3, and the clock-free read validation of
+// §8, are all implemented and individually switchable for ablation.
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"time"
+
+	"repro/internal/kvs"
+	"repro/internal/proto"
+)
+
+// Config parameterizes a Hermes replica.
+type Config struct {
+	// ID is this replica's node ID.
+	ID proto.NodeID
+	// View is the initial reliable-membership view.
+	View proto.View
+	// Env connects the replica to its harness.
+	Env proto.Env
+	// Store holds the replicated records; if nil a private store is created.
+	// In the live runtime the store is shared with the lock-free read path.
+	Store *kvs.Store
+	// MLT is the message-loss timeout (§3.4): how long a request may sit on
+	// an Invalid key, or an INV broadcast may go unacknowledged, before the
+	// replica suspects loss and retransmits or replays.
+	MLT time.Duration
+	// ElideVAL enables optimization O1: a coordinator whose write was
+	// superseded by a higher-timestamp concurrent write (Trans state) skips
+	// the VAL broadcast for it.
+	ElideVAL bool
+	// VirtualIDs enables optimization O2: the set of coordinator IDs this
+	// node may stamp writes with, improving conflict-resolution fairness.
+	// Empty means {uint16(ID)}. All nodes' sets must be disjoint and
+	// CIDOwner must invert the assignment.
+	VirtualIDs []uint16
+	// CIDOwner maps a timestamp's cid back to the physical node that owns
+	// it; nil means the identity mapping cid -> NodeID(cid).
+	CIDOwner func(cid uint16) proto.NodeID
+	// EarlyACKs enables optimization O3: followers broadcast ACKs to all
+	// replicas and validate once all ACKs are seen, halving read-blocking
+	// latency; VALs are not sent (their role is subsumed).
+	EarlyACKs bool
+	// NoLSC disables reliance on loosely synchronized clocks for reads
+	// (§8): reads execute speculatively and are released when a subsequent
+	// local update commit — or an explicit membership check acknowledged by
+	// a majority — proves this replica is still in the latest membership.
+	NoLSC bool
+	// Learner starts the replica as a shadow replica (§3.4 Recovery): it
+	// follows writes but serves no client requests until promoted.
+	Learner bool
+	// Rand seeds virtual-ID selection; nil uses a fixed per-node seed.
+	Rand *rand.Rand
+}
+
+// Metrics counts protocol events; the ablation benches read them.
+type Metrics struct {
+	Reads, Writes, RMWs     uint64 // client ops submitted
+	INVsSent, ACKsSent      uint64
+	VALsSent                uint64
+	VALsElided              uint64 // O1 savings
+	Replays                 uint64 // write replays started
+	Retransmits             uint64 // INV rebroadcasts after mlt
+	RMWAborts               uint64
+	StaleEpochDrops         uint64
+	StalledReads            uint64 // reads that found the key not Valid
+	EarlyValidations        uint64 // O3: validated from ACKs before any VAL
+	MChecks                 uint64 // §8 membership checks issued
+	SpecReadsFlushedByWrite uint64 // §8 reads released by a local commit
+}
+
+// Hermes is one replica's protocol state machine.
+type Hermes struct {
+	cfg     Config
+	id      proto.NodeID
+	env     proto.Env
+	store   *kvs.Store
+	view    proto.View
+	meta    map[proto.Key]*keyMeta
+	rng     *rand.Rand
+	oper    bool // has a valid RM lease; serves client requests
+	metrics Metrics
+
+	cidOwner   func(uint16) proto.NodeID
+	virtualIDs []uint16
+
+	// §8 clock-free read validation state.
+	specReads []specRead
+	checkSeq  uint64
+	checkAcks int
+	checkUpTo int // specReads prefix covered by the outstanding check
+	checkOpen bool
+
+	// Learner (shadow replica) catch-up state.
+	learner      bool
+	fetchCursor  uint64
+	fetchBusy    bool
+	fetchRetryAt time.Duration
+	fetchDone    bool
+	onCaughtUp   func() // invoked once the datastore has been reconstructed
+}
+
+type specRead struct {
+	op  proto.ClientOp
+	val proto.Value
+}
+
+// keyMeta holds the transient coordination state of one key. A meta exists
+// only while the key has an in-flight update, stalled requests, an armed
+// replay timer or buffered early ACKs; quiescent keys carry no overhead.
+type keyMeta struct {
+	pend     *pending
+	waiters  []proto.ClientOp
+	replayAt time.Duration // when non-zero: replay if still Invalid then
+	// O3 early-validation bookkeeping for the follower side.
+	ackTS  proto.TS
+	ackers map[proto.NodeID]bool
+}
+
+// pending tracks an update this node coordinates (original write, RMW, or a
+// replay of a write it learned about through an INV).
+type pending struct {
+	ts       proto.TS
+	val      proto.Value
+	rmw      bool
+	replay   bool
+	hasOp    bool
+	op       proto.ClientOp
+	oldVal   proto.Value // FAA result
+	acked    map[proto.NodeID]bool
+	resendAt time.Duration
+}
+
+// New builds a Hermes replica from cfg. The replica is operational
+// immediately unless cfg.Learner is set.
+func New(cfg Config) *Hermes {
+	if cfg.Env == nil {
+		panic("core: Config.Env is required")
+	}
+	if cfg.MLT <= 0 {
+		cfg.MLT = 10 * time.Millisecond
+	}
+	st := cfg.Store
+	if st == nil {
+		st = kvs.New(16)
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(int64(cfg.ID) + 1))
+	}
+	h := &Hermes{
+		cfg:        cfg,
+		id:         cfg.ID,
+		env:        cfg.Env,
+		store:      st,
+		view:       cfg.View.Clone(),
+		meta:       make(map[proto.Key]*keyMeta),
+		rng:        rng,
+		oper:       !cfg.Learner,
+		learner:    cfg.Learner,
+		virtualIDs: cfg.VirtualIDs,
+		cidOwner:   cfg.CIDOwner,
+	}
+	if len(h.virtualIDs) == 0 {
+		h.virtualIDs = []uint16{uint16(cfg.ID)}
+	}
+	if h.cidOwner == nil {
+		h.cidOwner = func(cid uint16) proto.NodeID { return proto.NodeID(cid) }
+	}
+	return h
+}
+
+// VirtualIDs returns the disjoint virtual-ID set {id, id+n, id+2n, ...} of
+// size k for a node in a cluster of n nodes — the assignment scheme of the
+// paper's O2 example (§3.3). Pair with StrideOwner(n).
+func VirtualIDs(id proto.NodeID, n, k int) []uint16 {
+	out := make([]uint16, k)
+	for i := 0; i < k; i++ {
+		out[i] = uint16(int(id) + i*n)
+	}
+	return out
+}
+
+// StrideOwner returns the CIDOwner inverse of VirtualIDs for an n-node
+// cluster.
+func StrideOwner(n int) func(uint16) proto.NodeID {
+	return func(cid uint16) proto.NodeID { return proto.NodeID(int(cid) % n) }
+}
+
+// ID implements proto.Replica.
+func (h *Hermes) ID() proto.NodeID { return h.id }
+
+// View returns the replica's current membership view.
+func (h *Hermes) View() proto.View { return h.view }
+
+// Metrics returns a snapshot of the replica's protocol counters.
+func (h *Hermes) Metrics() Metrics { return h.metrics }
+
+// Store exposes the underlying record store (the live runtime's lock-free
+// read path and tests read it).
+func (h *Hermes) Store() *kvs.Store { return h.store }
+
+// SetOperational marks the replica as holding (or not holding) a valid RM
+// lease. Non-operational replicas reject client requests (§2.4: nodes on a
+// minority partition stop serving before the membership is updated).
+func (h *Hermes) SetOperational(ok bool) { h.oper = ok }
+
+// Operational reports whether the replica currently serves client requests.
+func (h *Hermes) Operational() bool { return h.oper && !h.learner }
+
+// SetOnCaughtUp registers a callback fired when a learner finishes state
+// transfer and is ready to be promoted to a serving member.
+func (h *Hermes) SetOnCaughtUp(fn func()) { h.onCaughtUp = fn }
+
+// entry fetches the key's record; missing keys read as Valid with a zero
+// timestamp and nil value (the store's implicit initial state).
+func (h *Hermes) entry(k proto.Key) kvs.Entry {
+	e, ok := h.store.Get(k)
+	if !ok {
+		return kvs.Entry{State: kvs.Valid}
+	}
+	return e
+}
+
+func (h *Hermes) metaOf(k proto.Key) *keyMeta {
+	m := h.meta[k]
+	if m == nil {
+		m = &keyMeta{}
+		h.meta[k] = m
+	}
+	return m
+}
+
+// gc drops the key's meta if it holds no state.
+func (h *Hermes) gc(k proto.Key, m *keyMeta) {
+	if m.pend == nil && len(m.waiters) == 0 && m.replayAt == 0 && m.ackers == nil {
+		delete(h.meta, k)
+	}
+}
+
+// Submit implements proto.Replica.
+func (h *Hermes) Submit(op proto.ClientOp) {
+	if !h.Operational() {
+		h.env.Complete(proto.Completion{OpID: op.ID, Kind: op.Kind, Key: op.Key, Status: proto.NotOperational})
+		return
+	}
+	switch op.Kind {
+	case proto.OpRead:
+		h.metrics.Reads++
+	case proto.OpWrite:
+		h.metrics.Writes++
+	default:
+		h.metrics.RMWs++
+	}
+	e := h.entry(op.Key)
+	if e.State != kvs.Valid || h.pendingOn(op.Key) {
+		if op.Kind == proto.OpRead && e.State == kvs.Valid {
+			// Valid but this node coordinates an in-flight update whose
+			// local apply is imminent; still safe to read the Valid value.
+			h.completeRead(op, e.Value)
+			return
+		}
+		if op.Kind == proto.OpRead {
+			h.metrics.StalledReads++
+		}
+		h.stall(op, e)
+		return
+	}
+	if op.Kind == proto.OpRead {
+		h.completeRead(op, e.Value)
+		return
+	}
+	h.startUpdate(op, e)
+}
+
+func (h *Hermes) pendingOn(k proto.Key) bool {
+	m := h.meta[k]
+	return m != nil && m.pend != nil
+}
+
+// stall queues op on its key and arms the replay timer: if the key is still
+// Invalid after the message-loss timeout, the missing VAL is presumed lost
+// and the write is replayed (§3.4 Imperfect Links).
+func (h *Hermes) stall(op proto.ClientOp, e kvs.Entry) {
+	m := h.metaOf(op.Key)
+	m.waiters = append(m.waiters, op)
+	if e.State == kvs.Invalid && m.pend == nil && m.replayAt == 0 {
+		m.replayAt = h.env.Now() + h.cfg.MLT
+	}
+}
+
+func (h *Hermes) completeRead(op proto.ClientOp, val proto.Value) {
+	if h.cfg.NoLSC {
+		// §8: execute speculatively; release on the next commit proof.
+		h.specReads = append(h.specReads, specRead{op: op, val: val})
+		return
+	}
+	h.env.Complete(proto.Completion{OpID: op.ID, Kind: proto.OpRead, Key: op.Key, Status: proto.OK, Value: val})
+}
+
+// startUpdate begins coordinating a write or RMW for a key currently in
+// Valid state with no local pending update (§3.2 coordinator steps CTS,
+// CINV).
+func (h *Hermes) startUpdate(op proto.ClientOp, e kvs.Entry) {
+	var newVal, oldVal proto.Value
+	rmw := op.Kind.IsRMW()
+	switch op.Kind {
+	case proto.OpWrite:
+		newVal = op.Value
+	case proto.OpCAS:
+		if !bytes.Equal(e.Value, op.Expected) {
+			// Failed CAS is a linearizable read of the current value; no
+			// protocol action needed since the key is Valid.
+			h.env.Complete(proto.Completion{OpID: op.ID, Kind: op.Kind, Key: op.Key, Status: proto.CASFailed, Value: e.Value})
+			return
+		}
+		newVal = op.Value
+	case proto.OpFAA:
+		oldVal = e.Value
+		newVal = proto.EncodeInt64(proto.DecodeInt64(e.Value) + proto.DecodeInt64(op.Value))
+	}
+
+	// CTS: writes advance the version by 2, RMWs by 1, so a write racing an
+	// RMW from the same base version always outranks it and the RMW safely
+	// aborts (§3.6).
+	ts := proto.TS{Version: e.TS.Version + 2, CID: h.pickCID()}
+	if rmw {
+		ts.Version = e.TS.Version + 1
+	}
+
+	m := h.metaOf(op.Key)
+	m.pend = &pending{
+		ts: ts, val: newVal.Clone(), rmw: rmw,
+		hasOp: true, op: op, oldVal: oldVal,
+		acked:    make(map[proto.NodeID]bool),
+		resendAt: h.env.Now() + h.cfg.MLT,
+	}
+	// CINV: apply locally and broadcast the invalidation with the value.
+	h.store.Update(op.Key, kvs.Entry{Value: m.pend.val, TS: ts, State: kvs.Write, RMW: rmw})
+	h.broadcastINV(op.Key, m.pend)
+	h.checkCommit(op.Key, m)
+}
+
+func (h *Hermes) pickCID() uint16 {
+	if len(h.virtualIDs) == 1 {
+		return h.virtualIDs[0]
+	}
+	return h.virtualIDs[h.rng.Intn(len(h.virtualIDs))]
+}
+
+func (h *Hermes) broadcastINV(k proto.Key, p *pending) {
+	msg := INV{Epoch: h.view.Epoch, Key: k, TS: p.ts, Value: p.val, RMW: p.rmw}
+	for _, n := range h.view.WriteSet(h.id) {
+		if !p.acked[n] {
+			h.env.Send(n, msg)
+			h.metrics.INVsSent++
+		}
+	}
+}
+
+// startReplay takes on the coordinator role for the key's last-seen write,
+// re-broadcasting INVs with the *original* timestamp and value so the write
+// is linearized exactly where the failed coordinator would have put it
+// (§3.2 Write Replays). Early value propagation in INVs is what makes this
+// possible: every invalidated node already holds the value.
+func (h *Hermes) startReplay(k proto.Key, m *keyMeta, e kvs.Entry) {
+	h.metrics.Replays++
+	m.replayAt = 0
+	m.pend = &pending{
+		ts: e.TS, val: e.Value, rmw: e.RMW, replay: true,
+		acked:    make(map[proto.NodeID]bool),
+		resendAt: h.env.Now() + h.cfg.MLT,
+	}
+	h.store.SetState(k, kvs.Replay)
+	h.broadcastINV(k, m.pend)
+	h.checkCommit(k, m)
+}
+
+// Deliver implements proto.Replica.
+func (h *Hermes) Deliver(from proto.NodeID, msg any) {
+	switch t := msg.(type) {
+	case INV:
+		h.onINV(from, t)
+	case ACK:
+		h.onACK(from, t)
+	case VAL:
+		h.onVAL(from, t)
+	case MCheck:
+		h.onMCheck(from, t)
+	case MCheckAck:
+		h.onMCheckAck(from, t)
+	case ChunkReq:
+		h.onChunkReq(from, t)
+	case ChunkResp:
+		h.onChunkResp(from, t)
+	default:
+		panic("core: unknown message type delivered to Hermes replica")
+	}
+}
+
+func (h *Hermes) staleEpoch(e uint32) bool {
+	if e != h.view.Epoch {
+		h.metrics.StaleEpochDrops++
+		return true
+	}
+	return false
+}
+
+// onINV implements FINV/FACK and the RMW variant FRMW-ACK.
+func (h *Hermes) onINV(from proto.NodeID, inv INV) {
+	if h.staleEpoch(inv.Epoch) {
+		return
+	}
+	e := h.entry(inv.Key)
+	cmp := inv.TS.Compare(e.TS)
+
+	if inv.RMW && cmp < 0 {
+		// FRMW-ACK: an RMW that has already lost. Respond with the local
+		// state as an INV (the same message a write replay uses) so the RMW
+		// coordinator observes the higher timestamp and aborts.
+		h.env.Send(from, INV{Epoch: h.view.Epoch, Key: inv.Key, TS: e.TS, Value: e.Value, RMW: e.RMW})
+		h.metrics.INVsSent++
+		return
+	}
+
+	if cmp > 0 {
+		h.applyINV(inv)
+	}
+	h.sendACK(from, inv)
+}
+
+// applyINV installs a higher-timestamped update: FINV's state transition
+// plus CRMW-abort when this node coordinates a pending RMW.
+func (h *Hermes) applyINV(inv INV) {
+	m := h.meta[inv.Key]
+	st := kvs.Invalid
+	if m != nil && m.pend != nil {
+		p := m.pend
+		switch {
+		case p.rmw:
+			// CRMW-abort: our in-flight RMW lost to a higher-timestamped
+			// update. Replayed RMWs abort silently; originals notify the
+			// client.
+			h.metrics.RMWAborts++
+			if p.hasOp {
+				h.env.Complete(proto.Completion{OpID: p.op.ID, Kind: p.op.Kind, Key: inv.Key, Status: proto.Aborted})
+			}
+			m.pend = nil
+		case p.replay:
+			// Our replay was superseded; the newer write subsumes it.
+			m.pend = nil
+		default:
+			// A plain write keeps collecting ACKs: it still commits (writes
+			// never abort) but the key stays invalid for the newer write.
+			st = kvs.Trans
+		}
+	}
+	h.store.Update(inv.Key, kvs.Entry{Value: inv.Value.Clone(), TS: inv.TS, State: st, RMW: inv.RMW})
+	if m != nil {
+		// Stalled requests now wait for the newer write; re-arm its timer.
+		if len(m.waiters) > 0 && st == kvs.Invalid && m.pend == nil {
+			m.replayAt = h.env.Now() + h.cfg.MLT
+		}
+		// O3: ACKs gathered for a different timestamp are obsolete.
+		if m.ackers != nil && m.ackTS != inv.TS {
+			m.ackers = nil
+		}
+		h.gc(inv.Key, m)
+	}
+}
+
+// sendACK acknowledges an INV: to the coordinator only, or — under O3 — to
+// every replica so followers can validate without the VAL round.
+func (h *Hermes) sendACK(from proto.NodeID, inv INV) {
+	ack := ACK{Epoch: h.view.Epoch, Key: inv.Key, TS: inv.TS}
+	if !h.cfg.EarlyACKs {
+		h.env.Send(from, ack)
+		h.metrics.ACKsSent++
+		return
+	}
+	for _, n := range h.view.WriteSet(h.id) {
+		h.env.Send(n, ack)
+		h.metrics.ACKsSent++
+	}
+	// Count our own ACK toward early validation.
+	h.recordEarlyACK(h.id, inv.Key, inv.TS)
+}
+
+// onACK implements CACK on the coordinator and O3 early validation on
+// followers.
+func (h *Hermes) onACK(from proto.NodeID, ack ACK) {
+	if h.staleEpoch(ack.Epoch) {
+		return
+	}
+	if m := h.meta[ack.Key]; m != nil && m.pend != nil && m.pend.ts == ack.TS {
+		m.pend.acked[from] = true
+		h.checkCommit(ack.Key, m)
+		return
+	}
+	if h.cfg.EarlyACKs {
+		h.recordEarlyACK(from, ack.Key, ack.TS)
+	}
+}
+
+// recordEarlyACK tracks which replicas have acknowledged (key, ts). ACKs may
+// race ahead of their INV, so acknowledgments for a timestamp newer than the
+// local one are buffered. Once every non-coordinator replica has ACKed the
+// local timestamp, the write is globally visible and this follower may
+// validate without waiting for a VAL (O3, §3.3).
+func (h *Hermes) recordEarlyACK(from proto.NodeID, k proto.Key, ts proto.TS) {
+	e := h.entry(k)
+	if ts.Before(e.TS) {
+		return // stale: a newer update superseded this write locally
+	}
+	m := h.metaOf(k)
+	if m.ackers == nil || m.ackTS != ts {
+		if m.ackers != nil && m.ackTS.After(ts) {
+			h.gc(k, m)
+			return // buffer already tracks a newer write
+		}
+		m.ackTS = ts
+		m.ackers = make(map[proto.NodeID]bool)
+	}
+	m.ackers[from] = true
+	h.tryEarlyValidate(k, m)
+	h.gc(k, m)
+}
+
+// tryEarlyValidate validates the key if it is Invalid at the buffered ACK
+// timestamp and every required replica has acknowledged.
+func (h *Hermes) tryEarlyValidate(k proto.Key, m *keyMeta) {
+	if m.ackers == nil {
+		return
+	}
+	e := h.entry(k)
+	if m.ackTS != e.TS || e.State != kvs.Invalid {
+		return
+	}
+	coord := h.cidOwner(e.TS.CID)
+	for _, n := range h.view.WriteSet(coord) {
+		if !m.ackers[n] {
+			return
+		}
+	}
+	h.metrics.EarlyValidations++
+	m.ackers = nil
+	h.validate(k, m)
+}
+
+// onVAL implements FVAL: validate iff the timestamps match exactly.
+func (h *Hermes) onVAL(from proto.NodeID, val VAL) {
+	if h.staleEpoch(val.Epoch) {
+		return
+	}
+	e := h.entry(val.Key)
+	if e.TS != val.TS || e.State == kvs.Valid {
+		return
+	}
+	m := h.metaOf(val.Key)
+	if m.pend != nil && m.pend.ts == val.TS {
+		// Another node replayed our write to completion before our own ACKs
+		// arrived; the write is committed.
+		h.finishPending(val.Key, m)
+		return
+	}
+	h.validate(val.Key, m)
+}
+
+// checkCommit fires CACK once every node in the current view's write set has
+// acknowledged the pending update.
+func (h *Hermes) checkCommit(k proto.Key, m *keyMeta) {
+	p := m.pend
+	if p == nil {
+		return
+	}
+	for _, n := range h.view.WriteSet(h.id) {
+		if !p.acked[n] {
+			return
+		}
+	}
+	h.finishPending(k, m)
+}
+
+// finishPending completes a gathered update: answer the client, then
+// validate — or fall back to Invalid if a concurrent higher-timestamped
+// write superseded ours while we gathered ACKs (Trans), in which case O1
+// elides the now-unnecessary VAL broadcast.
+func (h *Hermes) finishPending(k proto.Key, m *keyMeta) {
+	p := m.pend
+	m.pend = nil
+	if p.hasOp {
+		c := proto.Completion{OpID: p.op.ID, Kind: p.op.Kind, Key: k, Status: proto.OK}
+		if p.op.Kind == proto.OpFAA {
+			c.Value = p.oldVal
+		}
+		h.env.Complete(c)
+	}
+	// The commit is also a proof of current membership for §8 reads.
+	h.flushSpecReadsOnCommit()
+
+	e := h.entry(k)
+	switch {
+	case e.TS == p.ts:
+		if !h.cfg.EarlyACKs {
+			h.broadcastVAL(k, p.ts)
+		}
+		h.validate(k, m)
+	case e.State == kvs.Valid:
+		// The superseding write already validated the key (its VAL or early
+		// ACKs arrived before our last ACK). Our write committed; nothing to
+		// validate, and O1 applies to our own VAL.
+		h.elideOrBroadcastVAL(k, p.ts)
+		h.drainWaiters(k, m)
+		h.gc(k, m)
+	default:
+		// Trans: key stays Invalid until the newer write validates it.
+		h.store.SetState(k, kvs.Invalid)
+		if len(m.waiters) > 0 && m.replayAt == 0 {
+			m.replayAt = h.env.Now() + h.cfg.MLT
+		}
+		h.elideOrBroadcastVAL(k, p.ts)
+		h.tryEarlyValidate(k, m)
+		h.gc(k, m)
+	}
+}
+
+func (h *Hermes) elideOrBroadcastVAL(k proto.Key, ts proto.TS) {
+	if h.cfg.ElideVAL || h.cfg.EarlyACKs {
+		h.metrics.VALsElided++
+		return
+	}
+	h.broadcastVAL(k, ts)
+}
+
+func (h *Hermes) broadcastVAL(k proto.Key, ts proto.TS) {
+	msg := VAL{Epoch: h.view.Epoch, Key: k, TS: ts}
+	for _, n := range h.view.WriteSet(h.id) {
+		h.env.Send(n, msg)
+		h.metrics.VALsSent++
+	}
+}
+
+// validate transitions the key to Valid and serves its stalled requests.
+func (h *Hermes) validate(k proto.Key, m *keyMeta) {
+	h.store.SetState(k, kvs.Valid)
+	m.replayAt = 0
+	m.ackers = nil
+	if m.pend == nil {
+		h.drainWaiters(k, m)
+	}
+	h.gc(k, m)
+}
+
+// drainWaiters serves stalled requests in arrival order: reads complete
+// against the Valid value; the first queued update becomes a new write,
+// after which the key is no longer Valid and the rest keep waiting.
+func (h *Hermes) drainWaiters(k proto.Key, m *keyMeta) {
+	for len(m.waiters) > 0 {
+		e := h.entry(k)
+		if e.State != kvs.Valid || m.pend != nil {
+			return
+		}
+		op := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		if op.Kind == proto.OpRead {
+			h.completeRead(op, e.Value)
+			continue
+		}
+		h.startUpdate(op, e)
+	}
+}
+
+// Tick implements proto.Replica: retransmission of unacknowledged INVs,
+// write replays for keys stuck Invalid, learner chunk fetching and §8
+// membership checks.
+func (h *Hermes) Tick() {
+	now := h.env.Now()
+	for k, m := range h.meta {
+		if p := m.pend; p != nil {
+			if now >= p.resendAt {
+				h.metrics.Retransmits++
+				p.resendAt = now + h.cfg.MLT
+				h.broadcastINV(k, p)
+			}
+			continue
+		}
+		if m.replayAt != 0 && now >= m.replayAt {
+			if e := h.entry(k); e.State == kvs.Invalid {
+				h.startReplay(k, m, e)
+			} else {
+				m.replayAt = 0
+				h.gc(k, m)
+			}
+		}
+	}
+	if h.cfg.NoLSC && len(h.specReads) > 0 && !h.checkOpen {
+		h.issueMCheck()
+	}
+	if h.learner && !h.fetchDone && (!h.fetchBusy || now >= h.fetchRetryAt) {
+		h.fetchNextChunk()
+	}
+}
+
+// OnViewChange implements proto.Replica: install the m-update (§3.4).
+// Pending plain writes shed ACKs owed by removed nodes and pick up newly
+// added nodes; pending RMWs reset their gathered ACKs entirely and replay
+// (CRMW-replay) so commitment is re-established against the new membership.
+// Unacknowledged INVs are rebroadcast under the new epoch, since followers
+// drop old-epoch messages.
+func (h *Hermes) OnViewChange(v proto.View) {
+	if v.Epoch <= h.view.Epoch {
+		return
+	}
+	h.view = v.Clone()
+	h.learner = v.IsLearner(h.id)
+	if v.Contains(h.id) {
+		// Full member (covers a learner's promotion to serving member).
+		h.oper = true
+	} else if !h.learner {
+		// Removed from the membership (e.g. we were on the losing side of a
+		// partition): stop serving until re-added.
+		h.oper = false
+	}
+	// An open membership check is against a dead epoch.
+	h.checkOpen = false
+	h.checkAcks = 0
+	for k, m := range h.meta {
+		p := m.pend
+		if p == nil {
+			continue
+		}
+		if p.rmw {
+			p.acked = make(map[proto.NodeID]bool)
+		}
+		p.resendAt = h.env.Now() + h.cfg.MLT
+		h.broadcastINV(k, p)
+		h.checkCommit(k, m)
+	}
+}
+
+// --- §8: linearizable reads without loosely synchronized clocks ---
+
+func (h *Hermes) issueMCheck() {
+	h.checkSeq++
+	h.checkOpen = true
+	h.checkAcks = 0
+	h.checkUpTo = len(h.specReads)
+	h.metrics.MChecks++
+	for _, n := range h.view.Others(h.id) {
+		h.env.Send(n, MCheck{Epoch: h.view.Epoch, Seq: h.checkSeq})
+	}
+	// Degenerate single-node view: we are the majority.
+	h.maybeReleaseSpecReads()
+}
+
+func (h *Hermes) onMCheck(from proto.NodeID, mc MCheck) {
+	if h.staleEpoch(mc.Epoch) {
+		return
+	}
+	h.env.Send(from, MCheckAck{Epoch: mc.Epoch, Seq: mc.Seq})
+}
+
+func (h *Hermes) onMCheckAck(from proto.NodeID, mc MCheckAck) {
+	if h.staleEpoch(mc.Epoch) || !h.checkOpen || mc.Seq != h.checkSeq {
+		return
+	}
+	h.checkAcks++
+	h.maybeReleaseSpecReads()
+}
+
+func (h *Hermes) maybeReleaseSpecReads() {
+	// Self counts toward the majority (the membership itself is maintained
+	// by a majority-based protocol, §8).
+	if h.checkAcks+1 < h.view.Quorum() {
+		return
+	}
+	h.checkOpen = false
+	n := h.checkUpTo
+	if n > len(h.specReads) {
+		n = len(h.specReads)
+	}
+	h.releaseSpecReads(n)
+}
+
+// flushSpecReadsOnCommit releases all speculative reads: a commit's ACK
+// gathering strictly follows every queued read, and acknowledgments from all
+// live replicas subsume the majority proof §8 requires.
+func (h *Hermes) flushSpecReadsOnCommit() {
+	if !h.cfg.NoLSC || len(h.specReads) == 0 {
+		return
+	}
+	h.metrics.SpecReadsFlushedByWrite += uint64(len(h.specReads))
+	h.releaseSpecReads(len(h.specReads))
+}
+
+func (h *Hermes) releaseSpecReads(n int) {
+	for i := 0; i < n; i++ {
+		sr := h.specReads[i]
+		h.env.Complete(proto.Completion{OpID: sr.op.ID, Kind: proto.OpRead, Key: sr.op.Key, Status: proto.OK, Value: sr.val})
+	}
+	h.specReads = h.specReads[n:]
+	if len(h.specReads) == 0 {
+		h.specReads = nil
+		h.checkOpen = false
+	} else if h.checkUpTo > n {
+		h.checkUpTo -= n
+	} else {
+		h.checkUpTo = 0
+	}
+}
+
+// --- §3.4 Recovery: shadow replica state transfer ---
+
+func (h *Hermes) fetchNextChunk() {
+	members := h.view.Others(h.id)
+	if len(members) == 0 {
+		return
+	}
+	// Spread chunk reads across members, as the paper's recovery does.
+	from := members[int(h.fetchCursor/512)%len(members)]
+	h.fetchBusy = true
+	h.fetchRetryAt = h.env.Now() + h.cfg.MLT
+	h.env.Send(from, ChunkReq{Epoch: h.view.Epoch, Cursor: h.fetchCursor, MaxKeys: 512})
+}
+
+func (h *Hermes) onChunkReq(from proto.NodeID, req ChunkReq) {
+	if h.staleEpoch(req.Epoch) {
+		return
+	}
+	resp := ChunkResp{Epoch: h.view.Epoch}
+	// Cursor is the count of keys already transferred, interpreted against
+	// this store's iteration order. Keys added concurrently are also pushed
+	// to the learner via INVs, so skew between members' iteration orders
+	// only risks re-sending records, which the timestamp check absorbs.
+	skip := req.Cursor
+	h.store.Range(func(k proto.Key, e kvs.Entry) bool {
+		if skip > 0 {
+			skip--
+			return true
+		}
+		resp.Keys = append(resp.Keys, k)
+		resp.Recs = append(resp.Recs, ChunkRec{TS: e.TS, Value: e.Value, RMW: e.RMW, Invalid: e.State != kvs.Valid})
+		return len(resp.Keys) < req.MaxKeys
+	})
+	resp.Done = len(resp.Keys) < req.MaxKeys
+	resp.Cursor = req.Cursor + uint64(len(resp.Keys))
+	h.env.Send(from, resp)
+}
+
+func (h *Hermes) onChunkResp(from proto.NodeID, resp ChunkResp) {
+	if h.staleEpoch(resp.Epoch) || !h.learner || h.fetchDone {
+		return
+	}
+	if start := resp.Cursor - uint64(len(resp.Keys)); start != h.fetchCursor {
+		return // response to a superseded (retried) request
+	}
+	h.fetchBusy = false
+	for i, k := range resp.Keys {
+		rec := resp.Recs[i]
+		if e, ok := h.store.Get(k); ok && !rec.TS.After(e.TS) {
+			continue // local copy is as new or newer (heard via INV)
+		}
+		st := kvs.Valid
+		if rec.Invalid {
+			st = kvs.Invalid
+		}
+		h.store.Update(k, kvs.Entry{Value: rec.Value.Clone(), TS: rec.TS, State: st, RMW: rec.RMW})
+	}
+	h.fetchCursor = resp.Cursor
+	if resp.Done {
+		h.fetchDone = true
+		if h.onCaughtUp != nil {
+			h.onCaughtUp()
+		}
+	}
+}
+
+// CaughtUp reports whether a learner has finished state transfer.
+func (h *Hermes) CaughtUp() bool { return h.fetchDone }

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/kvs"
+	"repro/internal/proto"
+)
+
+func TestLocalReadOfMissingKey(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	op := h.read(1, 7)
+	c := h.completion(1, op)
+	if c.Status != proto.OK || c.Value != nil {
+		t.Fatalf("read of missing key: %+v", c)
+	}
+	h.requireNoInflight() // local reads generate zero messages
+}
+
+func TestWriteCommitsInOneRoundTrip(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	op := h.write(0, 1, "v1")
+
+	// CINV: the coordinator applied locally and broadcast 2 INVs.
+	if got := h.entry(0, 1); got.State != kvs.Write || string(got.Value) != "v1" {
+		t.Fatalf("coordinator state after CINV: %+v", got)
+	}
+	if len(h.msgs) != 2 {
+		t.Fatalf("INV broadcast: %d msgs in flight", len(h.msgs))
+	}
+	if h.hasCompletion(0, op) {
+		t.Fatal("write completed before ACKs")
+	}
+
+	// Deliver both INVs: followers invalidate and ACK.
+	h.step()
+	h.step()
+	for _, id := range []proto.NodeID{1, 2} {
+		if got := h.entry(id, 1); got.State != kvs.Invalid || string(got.Value) != "v1" {
+			t.Fatalf("follower %d after INV: %+v", id, got)
+		}
+	}
+
+	// Deliver ACKs: coordinator commits (client answered) and VALs go out —
+	// the VAL broadcast is off the critical path (Fig. 2).
+	h.step()
+	h.step()
+	if c := h.completion(0, op); c.Status != proto.OK {
+		t.Fatalf("write completion: %+v", c)
+	}
+	if got := h.entry(0, 1); got.State != kvs.Valid {
+		t.Fatalf("coordinator after CACK: %+v", got)
+	}
+
+	h.run()
+	e := h.requireConverged(1)
+	if string(e.Value) != "v1" || e.TS.Version != 2 || e.TS.CID != 0 {
+		t.Fatalf("converged entry: %+v", e)
+	}
+	m := h.nodes[0].Metrics()
+	if m.INVsSent != 2 || m.VALsSent != 2 {
+		t.Fatalf("message counts: %+v", m)
+	}
+}
+
+func TestWriteTimestampIncrementsByTwo(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	h.write(0, 1, "a")
+	h.run()
+	h.write(1, 1, "b")
+	h.run()
+	e := h.requireConverged(1)
+	if e.TS.Version != 4 || e.TS.CID != 1 {
+		t.Fatalf("after two writes: ts=%v", e.TS)
+	}
+}
+
+func TestReadsServedLocallyAtEveryReplica(t *testing.T) {
+	h := newHarness(t, 5, nil)
+	h.write(2, 9, "x")
+	h.run()
+	inflight := len(h.msgs)
+	for id := proto.NodeID(0); id < 5; id++ {
+		op := h.read(id, 9)
+		c := h.completion(id, op)
+		if c.Status != proto.OK || string(c.Value) != "x" {
+			t.Fatalf("node %d read: %+v", id, c)
+		}
+	}
+	if len(h.msgs) != inflight {
+		t.Fatal("reads generated network traffic")
+	}
+}
+
+func TestReadStallsOnInvalidUntilVAL(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	h.write(0, 1, "new")
+	// Deliver only the INVs, not the ACK/VAL wave.
+	h.step()
+	h.step()
+	op := h.read(1, 1)
+	if h.hasCompletion(1, op) {
+		t.Fatal("read served from Invalid state")
+	}
+	if h.nodes[1].Metrics().StalledReads != 1 {
+		t.Fatal("stalled read not counted")
+	}
+	h.run() // ACKs reach coordinator; VALs validate followers
+	c := h.completion(1, op)
+	if c.Status != proto.OK || string(c.Value) != "new" {
+		t.Fatalf("stalled read completion: %+v", c)
+	}
+}
+
+func TestWriteStallsWhileKeyInvalid(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	h.write(0, 1, "a")
+	h.step() // INV reaches node 1 only
+	op := h.write(1, 1, "b")
+	if h.hasCompletion(1, op) {
+		t.Fatal("write started on Invalid key")
+	}
+	h.run()
+	if c := h.completion(1, op); c.Status != proto.OK {
+		t.Fatalf("queued write completion: %+v", c)
+	}
+	e := h.requireConverged(1)
+	if string(e.Value) != "b" {
+		t.Fatalf("final value %q, want queued write to apply last", e.Value)
+	}
+	// b started from a's committed version 2, so version is 4.
+	if e.TS.Version != 4 || e.TS.CID != 1 {
+		t.Fatalf("final ts: %v", e.TS)
+	}
+}
+
+// The paper's §3.5 operational example (Figure 4), first half: two
+// concurrent writes to A from nodes 1 and 3 (IDs 0 and 2 here). Both commit;
+// the higher-cid write wins; the lower one passes through Trans.
+func TestConcurrentWritesConvergeOnHigherCID(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	opLow := h.write(0, 1, "w0")  // ts (2,0)
+	opHigh := h.write(2, 1, "w2") // ts (2,2)
+
+	// Exchange INVs first: node 0 sees (2,2) > (2,0): applies, goes Trans.
+	// Node 2 sees (2,0) < (2,2): ACKs without applying.
+	h.run()
+
+	if !h.hasCompletion(0, opLow) || !h.hasCompletion(2, opHigh) {
+		t.Fatal("both concurrent writes must commit (writes never abort)")
+	}
+	e := h.requireConverged(1)
+	if string(e.Value) != "w2" || e.TS != (proto.TS{Version: 2, CID: 2}) {
+		t.Fatalf("converged on %q ts=%v, want w2 (2,2)", e.Value, e.TS)
+	}
+}
+
+func TestTransStateTracksSupersededWrite(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	h.write(0, 1, "low")  // ts (2,0)
+	h.write(2, 1, "high") // ts (2,2)
+
+	// Deliver the INVs while suppressing every ACK, so node 0 is
+	// invalidated by node 2's higher-timestamp write before its own write
+	// can gather acknowledgments.
+	for {
+		h.dropWhere(func(e envelope) bool { _, isACK := e.msg.(ACK); return isACK })
+		if len(h.msgs) == 0 {
+			break
+		}
+		h.step()
+	}
+	if got := h.entry(0, 1); got.State != kvs.Trans {
+		t.Fatalf("node 0 should be Trans after being invalidated mid-write, got %v", got.State)
+	}
+	if string(h.entry(0, 1).Value) != "high" {
+		t.Fatal("Trans node must hold the newer value (early value propagation)")
+	}
+}
+
+func TestStaleEpochMessagesDropped(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	h.nodes[1].Deliver(0, INV{Epoch: 99, Key: 1, TS: proto.TS{Version: 2}, Value: proto.Value("x")})
+	if e := h.entry(1, 1); e.State == kvs.Invalid {
+		t.Fatal("stale-epoch INV applied")
+	}
+	if h.nodes[1].Metrics().StaleEpochDrops != 1 {
+		t.Fatal("drop not counted")
+	}
+	h.requireNoInflight()
+}
+
+func TestDuplicateDeliveryIsIdempotent(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	op := h.write(0, 1, "v")
+	h.duplicateAll() // duplicate the INVs
+	h.run()
+	h.duplicateAll() // nothing in flight; harmless
+	h.run()
+	if c := h.completion(0, op); c.Status != proto.OK {
+		t.Fatalf("completion: %+v", c)
+	}
+	e := h.requireConverged(1)
+	if string(e.Value) != "v" || e.TS.Version != 2 {
+		t.Fatalf("converged: %+v", e)
+	}
+}
+
+// Any delivery order of the protocol's messages must converge all replicas
+// to the same highest-timestamp value — the linearizable convergence
+// property that per-key Lamport timestamps give Hermes.
+func TestShuffledDeliveryConverges(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := newHarness(t, 5, nil)
+		ops := make([]uint64, 0, 8)
+		for i := 0; i < 8; i++ {
+			id := proto.NodeID(rng.Intn(5))
+			ops = append(ops, h.write(id, 1, string(rune('a'+i))))
+			if rng.Intn(2) == 0 {
+				h.runShuffled(rng)
+			}
+		}
+		h.runShuffled(rng)
+		// Drain any stalled queued writes via ticks + replays.
+		for i := 0; i < 10; i++ {
+			h.advance(20 * time.Millisecond)
+			h.runShuffled(rng)
+		}
+		h.requireConverged(1)
+		for i, op := range ops {
+			found := false
+			for id := range h.nodes {
+				if h.hasCompletion(id, op) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("seed %d: write %d never completed", seed, i)
+			}
+		}
+	}
+}
+
+func TestInterKeyConcurrency(t *testing.T) {
+	// Writes to different keys never interact: all five commit against
+	// their own key with version 2.
+	h := newHarness(t, 5, nil)
+	ops := make(map[proto.Key]uint64)
+	for k := proto.Key(0); k < 5; k++ {
+		ops[k] = h.write(proto.NodeID(k), k, "v")
+	}
+	h.run()
+	for k := proto.Key(0); k < 5; k++ {
+		if c := h.completion(proto.NodeID(k), ops[k]); c.Status != proto.OK {
+			t.Fatalf("key %d: %+v", k, c)
+		}
+		e := h.requireConverged(k)
+		if e.TS.Version != 2 {
+			t.Fatalf("key %d version %d: cross-key interference", k, e.TS.Version)
+		}
+	}
+}
+
+func TestNonOperationalReplicaRejects(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	h.nodes[1].SetOperational(false)
+	op := h.read(1, 1)
+	if c := h.completion(1, op); c.Status != proto.NotOperational {
+		t.Fatalf("expected NotOperational, got %+v", c)
+	}
+	op = h.write(1, 1, "x")
+	if c := h.completion(1, op); c.Status != proto.NotOperational {
+		t.Fatalf("expected NotOperational for write, got %+v", c)
+	}
+	h.nodes[1].SetOperational(true)
+	op = h.read(1, 1)
+	if c := h.completion(1, op); c.Status != proto.OK {
+		t.Fatalf("after lease renewal: %+v", c)
+	}
+}
+
+func TestSingleNodeViewCommitsInstantly(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	op := h.write(0, 1, "solo")
+	if c := h.completion(0, op); c.Status != proto.OK {
+		t.Fatalf("single-replica write: %+v", c)
+	}
+	h.requireNoInflight()
+	if e := h.entry(0, 1); e.State != kvs.Valid {
+		t.Fatalf("entry: %+v", e)
+	}
+}
+
+func TestQueuedReadsDrainInOrderAroundWrite(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	h.write(0, 1, "a")
+	h.step() // node1 invalid
+	r1 := h.read(1, 1)
+	w := h.write(1, 1, "b")
+	r2 := h.read(1, 1)
+	h.run()
+	// r1 sees "a" (queued before the write), r2 sees "b".
+	if c := h.completion(1, r1); string(c.Value) != "a" {
+		t.Fatalf("r1=%+v", c)
+	}
+	if c := h.completion(1, r2); string(c.Value) != "b" {
+		t.Fatalf("r2=%+v", c)
+	}
+	if c := h.completion(1, w); c.Status != proto.OK {
+		t.Fatalf("w=%+v", c)
+	}
+	if e := h.requireConverged(1); string(e.Value) != "b" {
+		t.Fatalf("final=%q", e.Value)
+	}
+}
+
+func TestMetaMapGarbageCollected(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	for k := proto.Key(0); k < 50; k++ {
+		h.write(0, k, "v")
+	}
+	h.run()
+	for _, n := range h.nodes {
+		if len(n.meta) != 0 {
+			t.Fatalf("node %d retains %d key metas after quiescence", n.id, len(n.meta))
+		}
+	}
+}
+
+func TestViewChangeIgnoresStaleEpoch(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	old := h.view.Clone() // epoch 1
+	nv := h.view.Clone()
+	nv.Epoch = 5
+	h.nodes[0].OnViewChange(nv)
+	h.nodes[0].OnViewChange(old) // stale: must not regress
+	if got := h.nodes[0].View().Epoch; got != 5 {
+		t.Fatalf("epoch regressed to %d", got)
+	}
+}

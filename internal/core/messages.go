@@ -1,0 +1,91 @@
+package core
+
+import "repro/internal/proto"
+
+// Protocol messages (paper §3.2, Figure 3). Every message is tagged with the
+// sender's membership epoch_id; receivers drop messages from a different
+// epoch (paper §2.4), which is what makes membership reconfiguration safe:
+// a node that has not yet received the latest m-update simply ignores new
+// traffic until it catches up, manifesting as message loss that the sender's
+// retransmission timer (mlt) recovers from.
+
+// INV invalidates a key at the followers and carries the new value — the
+// "early value propagation" (§3.1) that makes writes safely replayable: any
+// invalidated node knows everything needed to finish the write itself.
+// RMW distinguishes conflicting RMW updates (§3.6) from writes.
+type INV struct {
+	Epoch uint32
+	Key   proto.Key
+	TS    proto.TS
+	Value proto.Value
+	RMW   bool
+}
+
+// ACK acknowledges an INV. The follower echoes the INV's timestamp so the
+// coordinator can match it to the pending update. Under optimization O3
+// (§3.3) ACKs are broadcast to every replica rather than unicast to the
+// coordinator, letting followers validate a half round-trip early.
+type ACK struct {
+	Epoch uint32
+	Key   proto.Key
+	TS    proto.TS
+}
+
+// VAL validates a key: the write with the carried timestamp committed, so a
+// follower whose local timestamp equals TS transitions the key back to
+// Valid. A VAL with a non-matching timestamp is ignored (§3.2 FVAL).
+type VAL struct {
+	Epoch uint32
+	Key   proto.Key
+	TS    proto.TS
+}
+
+// MCheck asks followers to confirm they share the sender's epoch. It
+// implements the clock-free linearizable read validation of §8 ("Hermes
+// without Loosely Synchronized Clocks"): a batch of speculatively executed
+// reads is released once a majority confirms the reader's membership is
+// current. Seq matches responses to the outstanding check.
+type MCheck struct {
+	Epoch uint32
+	Seq   uint64
+}
+
+// MCheckAck confirms an MCheck. Sent only when the receiver's epoch equals
+// the MCheck's epoch.
+type MCheckAck struct {
+	Epoch uint32
+	Seq   uint64
+}
+
+// ChunkReq asks a member for a range of the datastore; used by shadow
+// replicas (learners) to reconstruct state while they catch up
+// (§3.4 Recovery). Cursor is an opaque continuation token (0 starts);
+// MaxKeys bounds the reply size.
+type ChunkReq struct {
+	Epoch   uint32
+	Cursor  uint64
+	MaxKeys int
+}
+
+// ChunkResp returns a batch of key records. Done indicates the transfer is
+// complete. Receivers apply each record only if its timestamp is newer than
+// the local one, so chunk transfer never regresses concurrently replicated
+// writes.
+type ChunkResp struct {
+	Epoch  uint32
+	Cursor uint64
+	Done   bool
+	Keys   []proto.Key
+	Recs   []ChunkRec
+}
+
+// ChunkRec is one key's record in a ChunkResp. Invalid marks records whose
+// source copy was not in Valid state (an uncommitted in-flight write): the
+// learner stores them Invalid so it can never serve an uncommitted value
+// after promotion; the write's VAL or a replay validates them later.
+type ChunkRec struct {
+	TS      proto.TS
+	Value   proto.Value
+	RMW     bool
+	Invalid bool
+}

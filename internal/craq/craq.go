@@ -1,0 +1,600 @@
+// Package craq implements rCRAQ, the paper's strongest baseline (§2.5,
+// §5.1.2): Chain Replication with Apportioned Queries [Terrace &
+// Freedman '09]. Replicas form a chain ordered by node ID; writes enter at
+// the head, propagate down the chain, commit at the tail and acknowledge
+// back up. Reads are served locally when the key is clean; a node holding a
+// dirty (in-flight) version must query the tail for the last committed
+// version — the very behaviour that melts the tail under skew (§6.2, §6.3).
+//
+// The implementation mirrors internal/core's shape: a deterministic
+// state machine over proto.Replica/proto.Env, epoch-tagged messages, and
+// mlt-based retransmission so it survives the same message-loss faults.
+package craq
+
+import (
+	"time"
+
+	"repro/internal/proto"
+)
+
+// --- Messages ---
+
+// WriteReq forwards a client write (or RMW) from its origin node to the
+// head of the chain.
+type WriteReq struct {
+	Epoch  uint32
+	Origin proto.NodeID
+	OpID   uint64
+	Op     proto.ClientOp
+}
+
+// WriteDown propagates a version down the chain.
+type WriteDown struct {
+	Epoch  uint32
+	Key    proto.Key
+	Ver    uint64
+	Value  proto.Value
+	Origin proto.NodeID
+	OpID   uint64
+	// RMWOld carries the pre-image for FAA completions.
+	RMWOld proto.Value
+	Kind   proto.OpKind
+}
+
+// AckUp announces commitment (the write reached the tail) back up the
+// chain; every node marks the version clean as it passes.
+type AckUp struct {
+	Epoch  uint32
+	Key    proto.Key
+	Ver    uint64
+	Origin proto.NodeID
+	OpID   uint64
+	RMWOld proto.Value
+	Kind   proto.OpKind
+}
+
+// RMWReply answers a CAS that failed its comparison at the head (a
+// linearizable read, no version created).
+type RMWReply struct {
+	Epoch    uint32
+	OpID     uint64
+	Observed proto.Value
+}
+
+// VersionQuery asks the tail for a key's last committed version.
+type VersionQuery struct {
+	Epoch uint32
+	Key   proto.Key
+	OpID  uint64
+}
+
+// VersionReply is the tail's answer; Value is the committed value so the
+// reader can answer its client directly.
+type VersionReply struct {
+	Epoch uint32
+	Key   proto.Key
+	OpID  uint64
+	Ver   uint64
+	Value proto.Value
+}
+
+// --- Replica ---
+
+// Config parameterizes a CRAQ replica.
+type Config struct {
+	ID   proto.NodeID
+	View proto.View
+	Env  proto.Env
+	// MLT is the retransmission timeout for unacknowledged writes and
+	// unanswered tail queries.
+	MLT time.Duration
+}
+
+// Metrics counts protocol events.
+type Metrics struct {
+	Reads, Writes     uint64
+	LocalReads        uint64
+	TailQueries       uint64 // reads that had to consult the tail
+	Forwards          uint64 // writes forwarded to the head
+	Retransmits       uint64
+	StaleEpochDrops   uint64
+	VersionsCommitted uint64
+}
+
+type entry struct {
+	cleanVer uint64
+	cleanVal proto.Value
+	dirty    []dirtyVer // ascending versions > cleanVer
+}
+
+type dirtyVer struct {
+	ver    uint64
+	val    proto.Value
+	origin proto.NodeID
+	opID   uint64
+	rmwOld proto.Value
+	kind   proto.OpKind
+	sentAt time.Duration // head only: for retransmission
+}
+
+// pendingRead is a read awaiting the tail's version reply.
+type pendingRead struct {
+	op       proto.ClientOp
+	deadline time.Duration
+}
+
+// pendingFwd is an origin-side write awaiting commitment.
+type pendingFwd struct {
+	op       proto.ClientOp
+	deadline time.Duration
+}
+
+// Replica is one CRAQ node.
+type Replica struct {
+	cfg     Config
+	id      proto.NodeID
+	env     proto.Env
+	view    proto.View
+	store   map[proto.Key]*entry
+	oper    bool
+	metrics Metrics
+
+	nextVer  map[proto.Key]uint64 // head only
+	pendR    map[uint64]*pendingRead
+	pendW    map[uint64]*pendingFwd
+	doneOnce map[uint64]bool // dedup completions across retransmits
+	// assigned (head only) deduplicates retransmitted WriteReqs: an op that
+	// already has a version must never be assigned a second one.
+	assigned map[opKey]*assignedOp
+}
+
+type opKey struct {
+	origin proto.NodeID
+	opID   uint64
+}
+
+type assignedOp struct {
+	key       proto.Key
+	ver       uint64
+	kind      proto.OpKind
+	rmwOld    proto.Value
+	casFailed bool
+	observed  proto.Value
+}
+
+// New builds a CRAQ replica.
+func New(cfg Config) *Replica {
+	if cfg.Env == nil {
+		panic("craq: Config.Env is required")
+	}
+	if cfg.MLT <= 0 {
+		cfg.MLT = 10 * time.Millisecond
+	}
+	return &Replica{
+		cfg:      cfg,
+		id:       cfg.ID,
+		env:      cfg.Env,
+		view:     cfg.View.Clone(),
+		store:    make(map[proto.Key]*entry),
+		oper:     true,
+		nextVer:  make(map[proto.Key]uint64),
+		pendR:    make(map[uint64]*pendingRead),
+		pendW:    make(map[uint64]*pendingFwd),
+		doneOnce: make(map[uint64]bool),
+		assigned: make(map[opKey]*assignedOp),
+	}
+}
+
+// ID implements proto.Replica.
+func (r *Replica) ID() proto.NodeID { return r.id }
+
+// Metrics returns the replica's counters.
+func (r *Replica) Metrics() Metrics { return r.metrics }
+
+// SetOperational installs lease state (same contract as core.Hermes).
+func (r *Replica) SetOperational(ok bool) { r.oper = ok }
+
+func (r *Replica) head() proto.NodeID { return r.view.Members[0] }
+func (r *Replica) tail() proto.NodeID { return r.view.Members[len(r.view.Members)-1] }
+
+// succ returns the chain successor, or NilNode at the tail.
+func (r *Replica) succ() proto.NodeID {
+	for i, m := range r.view.Members {
+		if m == r.id {
+			if i+1 < len(r.view.Members) {
+				return r.view.Members[i+1]
+			}
+			return proto.NilNode
+		}
+	}
+	return proto.NilNode
+}
+
+// pred returns the chain predecessor, or NilNode at the head.
+func (r *Replica) pred() proto.NodeID {
+	for i, m := range r.view.Members {
+		if m == r.id {
+			if i > 0 {
+				return r.view.Members[i-1]
+			}
+			return proto.NilNode
+		}
+	}
+	return proto.NilNode
+}
+
+func (r *Replica) ent(k proto.Key) *entry {
+	e := r.store[k]
+	if e == nil {
+		e = &entry{}
+		r.store[k] = e
+	}
+	return e
+}
+
+// Submit implements proto.Replica.
+func (r *Replica) Submit(op proto.ClientOp) {
+	if !r.oper || !r.view.Contains(r.id) {
+		r.env.Complete(proto.Completion{OpID: op.ID, Kind: op.Kind, Key: op.Key, Status: proto.NotOperational})
+		return
+	}
+	if op.Kind == proto.OpRead {
+		r.metrics.Reads++
+		r.submitRead(op)
+		return
+	}
+	r.metrics.Writes++
+	if r.id == r.head() {
+		r.headWrite(op, r.id)
+		return
+	}
+	// Forward to the head; the chain is centralized for writes (the very
+	// property Hermes' decentralized writes remove).
+	r.metrics.Forwards++
+	r.pendW[op.ID] = &pendingFwd{op: op, deadline: r.env.Now() + r.cfg.MLT}
+	r.env.Send(r.head(), WriteReq{Epoch: r.view.Epoch, Origin: r.id, OpID: op.ID, Op: op})
+}
+
+func (r *Replica) submitRead(op proto.ClientOp) {
+	e := r.store[op.Key]
+	if e == nil || len(e.dirty) == 0 || r.id == r.tail() {
+		// Clean (or we are the tail, whose view is authoritative).
+		r.metrics.LocalReads++
+		val := proto.Value(nil)
+		if e != nil {
+			val = e.cleanVal
+		}
+		r.env.Complete(proto.Completion{OpID: op.ID, Kind: proto.OpRead, Key: op.Key, Status: proto.OK, Value: val})
+		return
+	}
+	// Dirty: apportioned query to the tail (§2.5).
+	r.metrics.TailQueries++
+	r.pendR[op.ID] = &pendingRead{op: op, deadline: r.env.Now() + r.cfg.MLT}
+	r.env.Send(r.tail(), VersionQuery{Epoch: r.view.Epoch, Key: op.Key, OpID: op.ID})
+}
+
+// headWrite runs at the head: assign the next version and start it down the
+// chain. RMWs are evaluated here against the newest (possibly dirty)
+// version, which is what serializing all updates at the head buys CRAQ.
+func (r *Replica) headWrite(op proto.ClientOp, origin proto.NodeID) {
+	if prev := r.assigned[opKey{origin, op.ID}]; prev != nil {
+		r.replayAssigned(op, origin, prev)
+		return
+	}
+	e := r.ent(op.Key)
+	newest := e.cleanVal
+	if n := len(e.dirty); n > 0 {
+		newest = e.dirty[n-1].val
+	}
+	var val, rmwOld proto.Value
+	switch op.Kind {
+	case proto.OpWrite:
+		val = op.Value.Clone()
+	case proto.OpCAS:
+		if string(newest) != string(op.Expected) {
+			r.assigned[opKey{origin, op.ID}] = &assignedOp{key: op.Key, kind: op.Kind, casFailed: true, observed: newest}
+			r.replyCASFail(origin, op.ID, newest)
+			return
+		}
+		val = op.Value.Clone()
+	case proto.OpFAA:
+		rmwOld = newest
+		val = proto.EncodeInt64(proto.DecodeInt64(newest) + proto.DecodeInt64(op.Value))
+	}
+	ver := r.nextVer[op.Key]
+	base := e.cleanVer
+	if n := len(e.dirty); n > 0 {
+		base = e.dirty[n-1].ver
+	}
+	if ver <= base {
+		ver = base + 1
+	}
+	r.nextVer[op.Key] = ver + 1
+	r.assigned[opKey{origin, op.ID}] = &assignedOp{key: op.Key, ver: ver, kind: op.Kind, rmwOld: rmwOld}
+	dv := dirtyVer{ver: ver, val: val, origin: origin, opID: op.ID,
+		rmwOld: rmwOld, kind: op.Kind, sentAt: r.env.Now()}
+	e.dirty = append(e.dirty, dv)
+	r.sendDown(op.Key, dv)
+}
+
+// replayAssigned answers a retransmitted WriteReq without assigning a new
+// version: resend the in-flight version, or re-announce the outcome.
+func (r *Replica) replayAssigned(op proto.ClientOp, origin proto.NodeID, prev *assignedOp) {
+	if prev.casFailed {
+		r.replyCASFail(origin, op.ID, prev.observed)
+		return
+	}
+	e := r.ent(prev.key)
+	for _, d := range e.dirty {
+		if d.ver == prev.ver {
+			r.sendDown(prev.key, d)
+			return
+		}
+	}
+	// Already committed: re-announce directly to the origin.
+	ack := AckUp{Epoch: r.view.Epoch, Key: prev.key, Ver: prev.ver,
+		Origin: origin, OpID: op.ID, RMWOld: prev.rmwOld, Kind: prev.kind}
+	if origin == r.id {
+		r.commit(prev.key, ack)
+		return
+	}
+	r.env.Send(origin, ack)
+}
+
+func (r *Replica) replyCASFail(origin proto.NodeID, opID uint64, observed proto.Value) {
+	if origin == r.id {
+		r.completeOnce(proto.Completion{OpID: opID, Kind: proto.OpCAS, Status: proto.CASFailed, Value: observed})
+		return
+	}
+	r.env.Send(origin, RMWReply{Epoch: r.view.Epoch, OpID: opID, Observed: observed})
+}
+
+func (r *Replica) sendDown(k proto.Key, dv dirtyVer) {
+	next := r.succ()
+	msg := WriteDown{Epoch: r.view.Epoch, Key: k, Ver: dv.ver, Value: dv.val,
+		Origin: dv.origin, OpID: dv.opID, RMWOld: dv.rmwOld, Kind: dv.kind}
+	if next == proto.NilNode {
+		// Single-node chain: head is tail; commit immediately.
+		r.commit(k, AckUp{Epoch: r.view.Epoch, Key: k, Ver: dv.ver,
+			Origin: dv.origin, OpID: dv.opID, RMWOld: dv.rmwOld, Kind: dv.kind})
+		return
+	}
+	r.env.Send(next, msg)
+}
+
+// Deliver implements proto.Replica.
+func (r *Replica) Deliver(from proto.NodeID, msg any) {
+	switch t := msg.(type) {
+	case WriteReq:
+		if r.stale(t.Epoch) {
+			return
+		}
+		if r.id == r.head() {
+			r.headWrite(t.Op, t.Origin)
+		}
+	case WriteDown:
+		r.onWriteDown(t)
+	case AckUp:
+		r.onAckUp(t)
+	case RMWReply:
+		if r.stale(t.Epoch) {
+			return
+		}
+		delete(r.pendW, t.OpID)
+		r.completeOnce(proto.Completion{OpID: t.OpID, Kind: proto.OpCAS, Status: proto.CASFailed, Value: t.Observed})
+	case VersionQuery:
+		if r.stale(t.Epoch) {
+			return
+		}
+		e := r.ent(t.Key)
+		r.env.Send(from, VersionReply{Epoch: r.view.Epoch, Key: t.Key, OpID: t.OpID,
+			Ver: e.cleanVer, Value: e.cleanVal})
+	case VersionReply:
+		if r.stale(t.Epoch) {
+			return
+		}
+		if pr := r.pendR[t.OpID]; pr != nil {
+			delete(r.pendR, t.OpID)
+			r.env.Complete(proto.Completion{OpID: t.OpID, Kind: proto.OpRead, Key: t.Key, Status: proto.OK, Value: t.Value})
+		}
+	default:
+		panic("craq: unknown message type")
+	}
+}
+
+func (r *Replica) stale(e uint32) bool {
+	if e != r.view.Epoch {
+		r.metrics.StaleEpochDrops++
+		return true
+	}
+	return false
+}
+
+func (r *Replica) onWriteDown(w WriteDown) {
+	if r.stale(w.Epoch) {
+		return
+	}
+	e := r.ent(w.Key)
+	if w.Ver <= e.cleanVer {
+		// Already committed here (retransmission); re-ack so upstream can
+		// clean too.
+		r.propagateAck(AckUp{Epoch: r.view.Epoch, Key: w.Key, Ver: w.Ver,
+			Origin: w.Origin, OpID: w.OpID, RMWOld: w.RMWOld, Kind: w.Kind})
+		return
+	}
+	// Insert as dirty unless already present.
+	present := false
+	for _, d := range e.dirty {
+		if d.ver == w.Ver {
+			present = true
+			break
+		}
+	}
+	if !present {
+		dv := dirtyVer{ver: w.Ver, val: w.Value, origin: w.Origin, opID: w.OpID, rmwOld: w.RMWOld, kind: w.Kind}
+		// Maintain ascending order under reordering.
+		pos := len(e.dirty)
+		for pos > 0 && e.dirty[pos-1].ver > w.Ver {
+			pos--
+		}
+		e.dirty = append(e.dirty, dirtyVer{})
+		copy(e.dirty[pos+1:], e.dirty[pos:])
+		e.dirty[pos] = dv
+	}
+	if r.id == r.tail() {
+		r.commit(w.Key, AckUp{Epoch: r.view.Epoch, Key: w.Key, Ver: w.Ver,
+			Origin: w.Origin, OpID: w.OpID, RMWOld: w.RMWOld, Kind: w.Kind})
+		return
+	}
+	r.env.Send(r.succ(), WriteDown{Epoch: r.view.Epoch, Key: w.Key, Ver: w.Ver,
+		Value: w.Value, Origin: w.Origin, OpID: w.OpID, RMWOld: w.RMWOld, Kind: w.Kind})
+}
+
+func (r *Replica) onAckUp(a AckUp) {
+	if r.stale(a.Epoch) {
+		return
+	}
+	r.commit(a.Key, a)
+}
+
+// commit marks version a.Ver clean locally, completes the op if this node
+// is its origin, and propagates the ack upstream.
+func (r *Replica) commit(k proto.Key, a AckUp) {
+	e := r.ent(k)
+	if a.Ver > e.cleanVer {
+		// Find the value among dirties (every node saw the WriteDown first;
+		// with reordering the ack may arrive early — then hold it by
+		// ignoring; the head's retransmission recovers).
+		var val proto.Value
+		found := false
+		for _, d := range e.dirty {
+			if d.ver == a.Ver {
+				val = d.val
+				found = true
+				break
+			}
+		}
+		if !found && r.id != r.tail() {
+			return // ack overtook its write; drop, retransmit recovers
+		}
+		if found {
+			e.cleanVer = a.Ver
+			e.cleanVal = val
+			r.metrics.VersionsCommitted++
+			// Drop dirty versions <= committed.
+			kept := e.dirty[:0]
+			for _, d := range e.dirty {
+				if d.ver > a.Ver {
+					kept = append(kept, d)
+				}
+			}
+			e.dirty = kept
+		}
+	}
+	if a.Origin == r.id {
+		delete(r.pendW, a.OpID)
+		c := proto.Completion{OpID: a.OpID, Kind: a.Kind, Key: k, Status: proto.OK}
+		if a.Kind == proto.OpFAA {
+			c.Value = a.RMWOld
+		}
+		r.completeOnce(c)
+	}
+	r.propagateAck(a)
+}
+
+func (r *Replica) propagateAck(a AckUp) {
+	if p := r.pred(); p != proto.NilNode {
+		a.Epoch = r.view.Epoch
+		r.env.Send(p, a)
+	}
+}
+
+// completeOnce deduplicates completions across retransmissions.
+func (r *Replica) completeOnce(c proto.Completion) {
+	if r.doneOnce[c.OpID] {
+		return
+	}
+	r.doneOnce[c.OpID] = true
+	r.env.Complete(c)
+}
+
+// Tick implements proto.Replica: head retransmits stale dirty writes;
+// origins retransmit unacknowledged forwards; readers retry tail queries.
+func (r *Replica) Tick() {
+	now := r.env.Now()
+	if r.id == r.head() {
+		for k, e := range r.store {
+			for i := range e.dirty {
+				if now-e.dirty[i].sentAt >= r.cfg.MLT {
+					e.dirty[i].sentAt = now
+					r.metrics.Retransmits++
+					r.sendDown(k, e.dirty[i])
+				}
+			}
+		}
+	}
+	for id, pw := range r.pendW {
+		if now >= pw.deadline {
+			pw.deadline = now + r.cfg.MLT
+			r.metrics.Retransmits++
+			r.env.Send(r.head(), WriteReq{Epoch: r.view.Epoch, Origin: r.id, OpID: id, Op: pw.op})
+		}
+	}
+	for id, pr := range r.pendR {
+		if now >= pr.deadline {
+			pr.deadline = now + r.cfg.MLT
+			r.metrics.Retransmits++
+			r.env.Send(r.tail(), VersionQuery{Epoch: r.view.Epoch, Key: pr.op.Key, OpID: id})
+		}
+	}
+}
+
+// OnViewChange rebuilds the chain. The new head re-pushes every dirty
+// version it knows down the new chain (values travel with WriteDowns, so
+// any survivor chain prefix can be completed); origins re-forward pending
+// writes under the new epoch.
+func (r *Replica) OnViewChange(v proto.View) {
+	if v.Epoch <= r.view.Epoch {
+		return
+	}
+	r.view = v.Clone()
+	if !v.Contains(r.id) {
+		r.oper = false
+		return
+	}
+	now := r.env.Now()
+	if r.id == r.head() {
+		for k, e := range r.store {
+			for i := range e.dirty {
+				e.dirty[i].sentAt = now
+				r.sendDown(k, e.dirty[i])
+			}
+		}
+	}
+	for id, pw := range r.pendW {
+		pw.deadline = now + r.cfg.MLT
+		r.env.Send(r.head(), WriteReq{Epoch: r.view.Epoch, Origin: r.id, OpID: id, Op: pw.op})
+	}
+	for id, pr := range r.pendR {
+		pr.deadline = now + r.cfg.MLT
+		r.env.Send(r.tail(), VersionQuery{Epoch: r.view.Epoch, Key: pr.op.Key, OpID: id})
+	}
+}
+
+// CleanValue exposes a key's committed value (tests).
+func (r *Replica) CleanValue(k proto.Key) (proto.Value, uint64) {
+	e := r.store[k]
+	if e == nil {
+		return nil, 0
+	}
+	return e.cleanVal, e.cleanVer
+}
+
+// DirtyCount exposes the number of in-flight versions for a key (tests).
+func (r *Replica) DirtyCount(k proto.Key) int {
+	e := r.store[k]
+	if e == nil {
+		return 0
+	}
+	return len(e.dirty)
+}

@@ -1,0 +1,111 @@
+package craq
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/prototest"
+)
+
+// The tail failing is special for CRAQ: commitment moves to the new tail
+// and the head's re-push completes pending writes.
+func TestTailFailureRecovery(t *testing.T) {
+	h := build(t, 3)
+	op := h.Write(0, 1, "v")
+	h.Step() // WriteDown reaches node 1
+	h.Crash(2)
+	h.Run()
+	if h.HasCompletion(0, op) {
+		t.Fatal("committed at a dead tail")
+	}
+	h.RemoveFromView(2) // chain 0 -> 1, node 1 is the new tail
+	h.Run()
+	h.Advance(15 * time.Millisecond)
+	h.Run()
+	if c := h.Completion(0, op); c.Status != proto.OK {
+		t.Fatalf("after tail failover: %+v", c)
+	}
+	if v, _ := rep(h, 1).CleanValue(1); string(v) != "v" {
+		t.Fatalf("new tail: %q", v)
+	}
+}
+
+// A version query that races with the write's commit still returns a
+// linearizable answer: either the old committed value or the new one.
+func TestQueryCommitRace(t *testing.T) {
+	h := build(t, 3)
+	h.Write(0, 1, "old")
+	h.Run()
+	h.Write(0, 1, "new")
+	h.Step() // dirty at node 1
+	op := h.Read(1, 1)
+	h.Run() // query + remaining chain traffic interleave FIFO
+	c := h.Completion(1, op)
+	if got := string(c.Value); got != "old" && got != "new" {
+		t.Fatalf("read %q, want old or new", got)
+	}
+}
+
+// Lost AckUp: the committed write is re-announced by the head's
+// retransmission; the origin's completion arrives exactly once.
+func TestLostAckUpRecovered(t *testing.T) {
+	h := build(t, 3)
+	op := h.Write(1, 1, "v")
+	for {
+		if h.DropWhere(func(e prototest.Envelope) bool { _, is := e.Msg.(AckUp); return is }) > 0 {
+			continue
+		}
+		if len(h.Msgs) == 0 {
+			break
+		}
+		h.Step()
+	}
+	if h.HasCompletion(1, op) {
+		t.Fatal("completed without acks")
+	}
+	h.Advance(15 * time.Millisecond)
+	h.Run()
+	h.Advance(15 * time.Millisecond)
+	h.Run()
+	if c := h.Completion(1, op); c.Status != proto.OK {
+		t.Fatalf("%+v", c)
+	}
+	n := 0
+	for _, c := range h.Done[1] {
+		if c.OpID == op {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("completed %d times", n)
+	}
+}
+
+// Reads must keep flowing during chain reconfiguration (clean keys stay
+// serveable; the membership check gates only removed nodes).
+func TestReadsAvailableDuringReconfiguration(t *testing.T) {
+	h := build(t, 3)
+	h.Write(0, 1, "v")
+	h.Run()
+	h.Crash(1)
+	h.RemoveFromView(1)
+	op := h.Read(0, 1)
+	if c := h.Completion(0, op); c.Status != proto.OK || string(c.Value) != "v" {
+		t.Fatalf("read during reconfig: %+v", c)
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	h := build(t, 3)
+	h.Write(2, 1, "v")
+	h.Run()
+	h.Read(2, 1)
+	m := rep(h, 2).Metrics()
+	if m.Writes != 1 || m.Forwards != 1 || m.Reads != 1 || m.LocalReads != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if rep(h, 0).Metrics().VersionsCommitted != 1 {
+		t.Fatal("head commit not counted")
+	}
+}

@@ -1,0 +1,350 @@
+package craq
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/prototest"
+)
+
+func build(t *testing.T, n int) *prototest.Harness {
+	return prototest.Build(t, n, func(id proto.NodeID, view proto.View, env proto.Env) proto.Replica {
+		return New(Config{ID: id, View: view, Env: env, MLT: 10 * time.Millisecond})
+	})
+}
+
+func rep(h *prototest.Harness, id proto.NodeID) *Replica {
+	return h.Nodes[id].(*Replica)
+}
+
+func TestWriteAtHeadPropagatesToAll(t *testing.T) {
+	h := build(t, 3)
+	op := h.Write(0, 1, "v") // node 0 is the head
+	h.Run()
+	if c := h.Completion(0, op); c.Status != proto.OK {
+		t.Fatalf("completion: %+v", c)
+	}
+	for id := proto.NodeID(0); id < 3; id++ {
+		val, ver := rep(h, id).CleanValue(1)
+		if string(val) != "v" || ver != 1 {
+			t.Fatalf("node %d: (%q,%d)", id, val, ver)
+		}
+		if rep(h, id).DirtyCount(1) != 0 {
+			t.Fatalf("node %d still dirty", id)
+		}
+	}
+}
+
+func TestWriteAtNonHeadForwards(t *testing.T) {
+	h := build(t, 3)
+	op := h.Write(2, 1, "v") // tail origin: forward to head, down, commit
+	h.Run()
+	if c := h.Completion(2, op); c.Status != proto.OK {
+		t.Fatalf("completion: %+v", c)
+	}
+	if rep(h, 2).Metrics().Forwards != 1 {
+		t.Fatal("write was not forwarded to the head")
+	}
+	if v := h.ReadBack(0, 1); string(v) != "v" {
+		t.Fatalf("head reads %q", v)
+	}
+}
+
+func TestCleanReadIsLocal(t *testing.T) {
+	h := build(t, 5)
+	h.Write(0, 1, "v")
+	h.Run()
+	for id := proto.NodeID(0); id < 5; id++ {
+		before := len(h.Msgs)
+		op := h.Read(id, 1)
+		if len(h.Msgs) != before {
+			t.Fatalf("clean read at node %d generated traffic", id)
+		}
+		if c := h.Completion(id, op); string(c.Value) != "v" {
+			t.Fatalf("node %d read %q", id, c.Value)
+		}
+	}
+}
+
+// The apportioned query (§2.5): a node holding a dirty version must consult
+// the tail; the tail answers with the committed version.
+func TestDirtyReadQueriesTail(t *testing.T) {
+	h := build(t, 3)
+	h.Write(0, 1, "old")
+	h.Run()
+	h.Write(0, 1, "new")
+	// Propagate the WriteDown to node 1 only; key is dirty there.
+	h.Step()
+	if rep(h, 1).DirtyCount(1) != 1 {
+		t.Fatal("node 1 should hold a dirty version")
+	}
+	// Hold the in-flight WriteDown to the tail so the new version stays
+	// uncommitted while we read.
+	held := h.Msgs
+	h.Msgs = nil
+	op := h.Read(1, 1)
+	if h.HasCompletion(1, op) {
+		t.Fatal("dirty read answered locally")
+	}
+	if rep(h, 1).Metrics().TailQueries != 1 {
+		t.Fatal("no tail query issued")
+	}
+	h.Run() // only the VersionQuery/Reply are in flight
+	// The tail has not seen the write: it answers "old" — correct, the new
+	// version is uncommitted.
+	if c := h.Completion(1, op); string(c.Value) != "old" {
+		t.Fatalf("tail-apportioned read: %q", c.Value)
+	}
+	h.Msgs = held
+	h.Run()
+	if v := h.ReadBack(1, 1); string(v) != "new" {
+		t.Fatalf("after commit: %q", v)
+	}
+}
+
+func TestTailReadsAlwaysLocal(t *testing.T) {
+	h := build(t, 3)
+	h.Write(0, 1, "a")
+	h.Run()
+	h.Write(0, 1, "b")
+	h.Step() // dirty at node 1; tail (node 2) hasn't seen it
+	op := h.Read(2, 1)
+	if c := h.Completion(2, op); string(c.Value) != "a" {
+		t.Fatalf("tail read %q (must serve its committed value locally)", c.Value)
+	}
+	if rep(h, 2).Metrics().TailQueries != 0 {
+		t.Fatal("the tail queried itself")
+	}
+}
+
+func TestWritesToSameKeySerializeByVersion(t *testing.T) {
+	h := build(t, 3)
+	a := h.Write(1, 1, "from1")
+	b := h.Write(2, 1, "from2")
+	h.Run()
+	if !h.HasCompletion(1, a) || !h.HasCompletion(2, b) {
+		t.Fatal("both writes must commit")
+	}
+	// Whichever WriteReq reached the head second wins; all replicas agree.
+	ref, refVer := rep(h, 0).CleanValue(1)
+	if refVer != 2 {
+		t.Fatalf("version=%d want 2", refVer)
+	}
+	for id := proto.NodeID(1); id < 3; id++ {
+		v, ver := rep(h, id).CleanValue(1)
+		if string(v) != string(ref) || ver != refVer {
+			t.Fatalf("divergence at node %d: (%q,%d) vs (%q,%d)", id, v, ver, ref, refVer)
+		}
+	}
+}
+
+func TestInterKeyConcurrency(t *testing.T) {
+	h := build(t, 3)
+	// Writes to distinct keys flow down the chain concurrently.
+	ops := map[proto.Key]uint64{}
+	for k := proto.Key(0); k < 8; k++ {
+		ops[k] = h.Write(1, k, "v")
+	}
+	h.Run()
+	for k, op := range ops {
+		if c := h.Completion(1, op); c.Status != proto.OK {
+			t.Fatalf("key %d: %+v", k, c)
+		}
+	}
+}
+
+func TestFAAAtHead(t *testing.T) {
+	h := build(t, 3)
+	op1 := h.FAA(1, 1, 5)
+	h.Run()
+	op2 := h.FAA(2, 1, 7)
+	h.Run()
+	if c := h.Completion(1, op1); proto.DecodeInt64(c.Value) != 0 {
+		t.Fatalf("first FAA old=%d", proto.DecodeInt64(c.Value))
+	}
+	if c := h.Completion(2, op2); proto.DecodeInt64(c.Value) != 5 {
+		t.Fatalf("second FAA old=%d", proto.DecodeInt64(c.Value))
+	}
+	if v := h.ReadBack(0, 1); proto.DecodeInt64(v) != 12 {
+		t.Fatalf("counter=%d", proto.DecodeInt64(v))
+	}
+}
+
+func TestCASFailureRepliesToOrigin(t *testing.T) {
+	h := build(t, 3)
+	h.Write(0, 1, "actual")
+	h.Run()
+	op := h.CAS(2, 1, "wrong", "new")
+	h.Run()
+	c := h.Completion(2, op)
+	if c.Status != proto.CASFailed || string(c.Value) != "actual" {
+		t.Fatalf("CAS failure: %+v", c)
+	}
+	if v := h.ReadBack(0, 1); string(v) != "actual" {
+		t.Fatal("failed CAS mutated state")
+	}
+}
+
+func TestCASSuccessAgainstDirtyNewest(t *testing.T) {
+	h := build(t, 3)
+	h.Write(0, 1, "a")
+	h.Run()
+	// CAS expecting "a" arrives while a newer write is dirty at the head:
+	// the head evaluates against the newest version ("b"), so it fails.
+	h.Write(0, 1, "b")
+	op := h.CAS(0, 1, "a", "c")
+	if c := h.Completion(0, op); c.Status != proto.CASFailed || string(c.Value) != "b" {
+		t.Fatalf("CAS vs dirty head state: %+v", c)
+	}
+	h.Run()
+}
+
+func TestLostWriteDownRetransmitted(t *testing.T) {
+	h := build(t, 3)
+	op := h.Write(0, 1, "v")
+	// Lose the WriteDown to node 1.
+	h.DropWhere(func(e prototest.Envelope) bool { _, is := e.Msg.(WriteDown); return is })
+	h.Run()
+	if h.HasCompletion(0, op) {
+		t.Fatal("committed without reaching the tail")
+	}
+	h.Advance(15 * time.Millisecond) // head retransmits
+	h.Run()
+	if c := h.Completion(0, op); c.Status != proto.OK {
+		t.Fatalf("after retransmit: %+v", c)
+	}
+}
+
+func TestLostWriteReqRetransmitted(t *testing.T) {
+	h := build(t, 3)
+	op := h.Write(2, 1, "v")
+	h.DropWhere(func(e prototest.Envelope) bool { _, is := e.Msg.(WriteReq); return is })
+	h.Run()
+	h.Advance(15 * time.Millisecond)
+	h.Run()
+	if c := h.Completion(2, op); c.Status != proto.OK {
+		t.Fatalf("after WriteReq retransmit: %+v", c)
+	}
+}
+
+func TestDuplicatesAreIdempotent(t *testing.T) {
+	h := build(t, 3)
+	op := h.Write(1, 1, "v")
+	h.DuplicateAll()
+	h.Run()
+	h.Advance(15 * time.Millisecond)
+	h.Run()
+	count := 0
+	for _, c := range h.Done[1] {
+		if c.OpID == op {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("op completed %d times", count)
+	}
+	if v, ver := rep(h, 2).CleanValue(1); string(v) != "v" || ver != 1 {
+		t.Fatalf("tail state (%q,%d)", v, ver)
+	}
+}
+
+// Chain reconfiguration: the middle node dies; the head re-pushes dirty
+// writes down the shortened chain and the write commits.
+func TestMidChainFailureRecovery(t *testing.T) {
+	h := build(t, 3)
+	op := h.Write(0, 1, "v")
+	// WriteDown reaches node 1 and dies there.
+	h.Step()
+	h.Crash(1)
+	h.Run()
+	if h.HasCompletion(0, op) {
+		t.Fatal("committed through a dead node")
+	}
+	h.RemoveFromView(1)
+	h.Run()
+	if c := h.Completion(0, op); c.Status != proto.OK {
+		t.Fatalf("after reconfiguration: %+v", c)
+	}
+	if v, _ := rep(h, 2).CleanValue(1); string(v) != "v" {
+		t.Fatalf("tail has %q", v)
+	}
+}
+
+// Head failure: the new head (old second node) re-pushes its dirty set.
+func TestHeadFailureRecovery(t *testing.T) {
+	h := build(t, 3)
+	op := h.Write(1, 5, "v") // origin node 1
+	h.Step()                 // WriteReq reaches head 0
+	h.Step()                 // WriteDown reaches node 1 (dirty there)
+	h.Crash(0)
+	h.Run()
+	h.RemoveFromView(0) // chain is now 1 -> 2; node 1 is head
+	h.Run()
+	h.Advance(15 * time.Millisecond)
+	h.Run()
+	if c := h.Completion(1, op); c.Status != proto.OK {
+		t.Fatalf("after head failover: %+v", c)
+	}
+	if v, _ := rep(h, 2).CleanValue(5); string(v) != "v" {
+		t.Fatalf("tail has %q", v)
+	}
+}
+
+func TestShuffledDeliveryConverges(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := build(t, 5)
+		var ops []uint64
+		for i := 0; i < 10; i++ {
+			ops = append(ops, h.Write(proto.NodeID(rng.Intn(5)), 1, string(rune('a'+i))))
+			if rng.Intn(2) == 0 {
+				h.RunShuffled(rng)
+			}
+		}
+		for round := 0; round < 30; round++ {
+			h.RunShuffled(rng)
+			h.Advance(11 * time.Millisecond)
+		}
+		h.Run()
+		for _, op := range ops {
+			done := false
+			for id := range h.Nodes {
+				if h.HasCompletion(id, op) {
+					done = true
+				}
+			}
+			if !done {
+				t.Fatalf("seed %d: a write never completed", seed)
+			}
+		}
+		ref, refVer := rep(h, 0).CleanValue(1)
+		for id := proto.NodeID(1); id < 5; id++ {
+			v, ver := rep(h, id).CleanValue(1)
+			if ver != refVer || string(v) != string(ref) {
+				t.Fatalf("seed %d: divergence at node %d", seed, id)
+			}
+		}
+	}
+}
+
+func TestNonOperationalRejects(t *testing.T) {
+	h := build(t, 3)
+	rep(h, 1).SetOperational(false)
+	op := h.Read(1, 1)
+	if c := h.Completion(1, op); c.Status != proto.NotOperational {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestSingleNodeChain(t *testing.T) {
+	h := build(t, 1)
+	op := h.Write(0, 1, "v")
+	if c := h.Completion(0, op); c.Status != proto.OK {
+		t.Fatalf("%+v", c)
+	}
+	if v := h.ReadBack(0, 1); string(v) != "v" {
+		t.Fatalf("%q", v)
+	}
+}

@@ -1,0 +1,433 @@
+// Package lockstep implements the Derecho-like baseline of the paper's §6.5
+// comparison: a leaderless, round-based, totally ordered broadcast with
+// lock-step delivery (virtually synchronous Paxos in the style of Jha et
+// al. '19). Every node contributes one (possibly empty) batch of updates
+// per round; a round delivers at a node only once batches from *all*
+// members have arrived, and delivered updates apply in (round, node) order.
+//
+// This captures precisely the two properties the paper credits for
+// Derecho's loss to Hermes (Fig. 8): lock-step delivery — the round barrier
+// paces everyone to the slowest member plus a full round-trip — and total
+// order — no inter-key concurrency, every write to any key serializes
+// through the round structure.
+package lockstep
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// Batch is node's contribution to one round. Empty Ops is the "null
+// message" that keeps the lock-step advancing.
+type Batch struct {
+	Epoch uint32
+	Round uint64
+	Ops   []Update
+}
+
+// Update is one totally ordered write.
+type Update struct {
+	Key    proto.Key
+	Value  proto.Value
+	OpID   uint64
+	Kind   proto.OpKind
+	RMWOld proto.Value
+}
+
+// RoundOK confirms the sender holds every member's batch for the round.
+// Delivery waits for RoundOK from all members: the stability barrier that
+// makes lock-step delivery safe (a round is applied only once globally
+// complete) — and the second network phase Derecho pays per commit.
+type RoundOK struct {
+	Epoch uint32
+	Round uint64
+}
+
+// PullReq asks a member to re-send its batch (and RoundOK) for a round the
+// requester is stuck on (the member may have delivered it and moved on).
+type PullReq struct {
+	Epoch uint32
+	Round uint64
+}
+
+// Config parameterizes a replica.
+type Config struct {
+	ID   proto.NodeID
+	View proto.View
+	Env  proto.Env
+	// MLT triggers batch retransmission for lossy links.
+	MLT time.Duration
+	// MaxBatch caps the updates a node contributes per round. Derecho's
+	// lock-step commit advances at per-message granularity, so the §6.5
+	// comparison models it with MaxBatch=1; 0 means unlimited.
+	MaxBatch int
+}
+
+// Metrics counts protocol events.
+type Metrics struct {
+	Reads, Writes   uint64
+	Rounds          uint64 // rounds delivered
+	NullBatches     uint64 // empty contributions (lock-step overhead)
+	Retransmits     uint64
+	StaleEpochDrops uint64
+}
+
+// Replica is one lock-step node.
+type Replica struct {
+	cfg     Config
+	id      proto.NodeID
+	env     proto.Env
+	view    proto.View
+	oper    bool
+	metrics Metrics
+
+	data map[proto.Key]proto.Value
+
+	// round is the next round this node will deliver; it has sent its own
+	// batches for every round < sendRound.
+	round     uint64
+	sendRound uint64
+	// queued ops not yet assigned to a round batch.
+	queue []Update
+	// received batches: round -> node -> batch.
+	inbox map[uint64]map[proto.NodeID]Batch
+	// stability confirmations: round -> nodes whose RoundOK arrived.
+	oks map[uint64]map[proto.NodeID]bool
+	// okSent marks rounds whose own RoundOK went out.
+	okSent map[uint64]bool
+	// myBatches retains sent batches for retransmission and pull-based gap
+	// repair; trimmed historyKeep rounds behind delivery.
+	myBatches map[uint64]Batch
+	sentAt    map[uint64]time.Duration
+	lastPull  time.Duration
+}
+
+// historyKeep bounds how many delivered rounds of own batches are retained
+// for peers that missed them.
+const historyKeep = 256
+
+// New builds a replica.
+func New(cfg Config) *Replica {
+	if cfg.Env == nil {
+		panic("lockstep: Config.Env is required")
+	}
+	if cfg.MLT <= 0 {
+		cfg.MLT = 10 * time.Millisecond
+	}
+	return &Replica{
+		cfg:       cfg,
+		id:        cfg.ID,
+		env:       cfg.Env,
+		view:      cfg.View.Clone(),
+		oper:      true,
+		data:      make(map[proto.Key]proto.Value),
+		inbox:     make(map[uint64]map[proto.NodeID]Batch),
+		oks:       make(map[uint64]map[proto.NodeID]bool),
+		okSent:    make(map[uint64]bool),
+		myBatches: make(map[uint64]Batch),
+		sentAt:    make(map[uint64]time.Duration),
+	}
+}
+
+// ID implements proto.Replica.
+func (r *Replica) ID() proto.NodeID { return r.id }
+
+// Metrics returns counters.
+func (r *Replica) Metrics() Metrics { return r.metrics }
+
+// SetOperational installs lease state.
+func (r *Replica) SetOperational(ok bool) { r.oper = ok }
+
+// Value returns a key's applied value (tests).
+func (r *Replica) Value(k proto.Key) proto.Value { return r.data[k] }
+
+// Round returns the next round to deliver (tests).
+func (r *Replica) Round() uint64 { return r.round }
+
+// Submit implements proto.Replica.
+func (r *Replica) Submit(op proto.ClientOp) {
+	if !r.oper || !r.view.Contains(r.id) {
+		r.env.Complete(proto.Completion{OpID: op.ID, Kind: op.Kind, Key: op.Key, Status: proto.NotOperational})
+		return
+	}
+	if op.Kind == proto.OpRead {
+		// Local SC read, as in the paper's Derecho configuration.
+		r.metrics.Reads++
+		r.env.Complete(proto.Completion{OpID: op.ID, Kind: proto.OpRead, Key: op.Key, Status: proto.OK, Value: r.data[op.Key]})
+		return
+	}
+	r.metrics.Writes++
+	r.queue = append(r.queue, Update{Key: op.Key, Value: op.Value.Clone(), OpID: op.ID, Kind: op.Kind})
+	r.pump()
+}
+
+// pump sends this node's batch for the next unsent round. One batch per
+// round; the round barrier (tryDeliver) paces everything. A node
+// contributes proactively when it has queued updates, and reactively (a
+// null batch) when another member has opened the round — so an idle group
+// generates no traffic, but no round ever starves.
+func (r *Replica) pump() {
+	// Allow a bounded pipeline of one outstanding round beyond delivery.
+	if r.sendRound > r.round {
+		return
+	}
+	if len(r.queue) == 0 && len(r.inbox[r.sendRound]) == 0 {
+		return
+	}
+	take := len(r.queue)
+	if r.cfg.MaxBatch > 0 && take > r.cfg.MaxBatch {
+		take = r.cfg.MaxBatch
+	}
+	b := Batch{Epoch: r.view.Epoch, Round: r.sendRound, Ops: r.queue[:take:take]}
+	r.queue = r.queue[take:]
+	if len(b.Ops) == 0 {
+		r.metrics.NullBatches++
+	}
+	r.myBatches[b.Round] = b
+	r.sentAt[b.Round] = r.env.Now()
+	for _, n := range r.view.Others(r.id) {
+		r.env.Send(n, b)
+	}
+	r.acceptBatch(r.id, b)
+	r.sendRound++
+}
+
+// Deliver implements proto.Replica.
+func (r *Replica) Deliver(from proto.NodeID, msg any) {
+	switch t := msg.(type) {
+	case Batch:
+		if t.Epoch != r.view.Epoch {
+			r.metrics.StaleEpochDrops++
+			return
+		}
+		r.acceptBatch(from, t)
+	case RoundOK:
+		if t.Epoch != r.view.Epoch {
+			r.metrics.StaleEpochDrops++
+			return
+		}
+		r.recordOK(from, t.Round)
+	case PullReq:
+		if t.Epoch != r.view.Epoch {
+			r.metrics.StaleEpochDrops++
+			return
+		}
+		if b, ok := r.myBatches[t.Round]; ok {
+			r.metrics.Retransmits++
+			r.env.Send(from, b)
+			if r.okSent[t.Round] || t.Round < r.round {
+				r.env.Send(from, RoundOK{Epoch: r.view.Epoch, Round: t.Round})
+			}
+			return
+		}
+		// We have not contributed to that round yet; a pull counts as
+		// activity and triggers our (null) contribution.
+		if t.Round == r.sendRound && r.sendRound <= r.round {
+			r.pump()
+			if b, ok := r.myBatches[t.Round]; ok {
+				r.env.Send(from, b)
+			}
+		}
+	default:
+		panic("lockstep: unknown message type")
+	}
+}
+
+func (r *Replica) acceptBatch(from proto.NodeID, b Batch) {
+	if b.Round < r.round {
+		return // already delivered
+	}
+	m := r.inbox[b.Round]
+	if m == nil {
+		m = make(map[proto.NodeID]Batch)
+		r.inbox[b.Round] = m
+	}
+	m[from] = b
+	if from != r.id {
+		r.pump() // owe our (possibly null) contribution to this round
+	}
+	r.tryDeliver()
+}
+
+func (r *Replica) recordOK(from proto.NodeID, round uint64) {
+	if round < r.round {
+		return
+	}
+	m := r.oks[round]
+	if m == nil {
+		m = make(map[proto.NodeID]bool)
+		r.oks[round] = m
+	}
+	m[from] = true
+	r.tryDeliver()
+}
+
+// recordOKSelf records this node's own confirmation without re-entering
+// tryDeliver (it is called from inside the delivery loop).
+func (r *Replica) recordOKSelf(round uint64) {
+	if round < r.round {
+		return
+	}
+	m := r.oks[round]
+	if m == nil {
+		m = make(map[proto.NodeID]bool)
+		r.oks[round] = m
+	}
+	m[r.id] = true
+}
+
+// batchesComplete reports whether every member's batch for round r arrived.
+func (r *Replica) batchesComplete(round uint64) bool {
+	m := r.inbox[round]
+	if m == nil {
+		return false
+	}
+	for _, n := range r.view.Members {
+		if _, ok := m[n]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// tryDeliver applies rounds that are complete AND stable (all RoundOKs),
+// in (round, node) order — the total order.
+func (r *Replica) tryDeliver() {
+	for {
+		if !r.batchesComplete(r.round) {
+			return // lock-step barrier: wait for the slowest member
+		}
+		// Phase 2: announce completeness once, then wait for everyone's.
+		if !r.okSent[r.round] {
+			r.okSent[r.round] = true
+			for _, n := range r.view.Others(r.id) {
+				r.env.Send(n, RoundOK{Epoch: r.view.Epoch, Round: r.round})
+			}
+			r.recordOKSelf(r.round)
+		}
+		okm := r.oks[r.round]
+		for _, n := range r.view.Members {
+			if !okm[n] {
+				return // stability barrier
+			}
+		}
+		m := r.inbox[r.round]
+		nodes := make([]proto.NodeID, 0, len(m))
+		for n := range m {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for _, n := range nodes {
+			for _, u := range m[n].Ops {
+				r.apply(n, u)
+			}
+		}
+		delete(r.inbox, r.round)
+		delete(r.oks, r.round)
+		delete(r.okSent, r.round)
+		delete(r.sentAt, r.round)
+		if r.round >= historyKeep {
+			delete(r.myBatches, r.round-historyKeep)
+		}
+		r.metrics.Rounds++
+		r.round++
+		// Contribute to the next round immediately (with whatever queued).
+		r.pump()
+	}
+}
+
+func (r *Replica) apply(origin proto.NodeID, u Update) {
+	cur := r.data[u.Key]
+	var newVal proto.Value
+	status := proto.OK
+	var retVal proto.Value
+	switch u.Kind {
+	case proto.OpWrite:
+		newVal = u.Value
+	case proto.OpCAS:
+		// Total order means the CAS evaluates against the globally agreed
+		// state; Expected travels in Value[?]. For simplicity lockstep
+		// supports write and FAA only; CAS maps to write.
+		newVal = u.Value
+	case proto.OpFAA:
+		retVal = cur
+		newVal = proto.EncodeInt64(proto.DecodeInt64(cur) + proto.DecodeInt64(u.Value))
+	}
+	r.data[u.Key] = newVal
+	if origin == r.id {
+		r.env.Complete(proto.Completion{OpID: u.OpID, Kind: u.Kind, Key: u.Key, Status: status, Value: retVal})
+	}
+}
+
+// Tick retransmits this node's undelivered batches.
+func (r *Replica) Tick() {
+	now := r.env.Now()
+	for round, at := range r.sentAt {
+		if now-at >= r.cfg.MLT {
+			r.sentAt[round] = now
+			r.metrics.Retransmits++
+			b := r.myBatches[round]
+			for _, n := range r.view.Others(r.id) {
+				r.env.Send(n, b)
+			}
+		}
+	}
+	// Keep the lock-step advancing even when idle so queued writes on other
+	// nodes are not starved by our silence.
+	if len(r.queue) > 0 || r.anyInboxActivity() {
+		r.pump()
+	}
+	// Pull-based gap repair: the current round is partially filled (or we
+	// have contributed) but missing members' batches or RoundOKs have not
+	// arrived; ask directly — they may have delivered and moved on.
+	if now-r.lastPull >= r.cfg.MLT {
+		m := r.inbox[r.round]
+		if len(m) > 0 || r.sendRound > r.round {
+			r.lastPull = now
+			okm := r.oks[r.round]
+			for _, n := range r.view.Members {
+				if n == r.id {
+					continue
+				}
+				if _, ok := m[n]; !ok {
+					r.env.Send(n, PullReq{Epoch: r.view.Epoch, Round: r.round})
+				} else if r.okSent[r.round] && !okm[n] {
+					// Our OK may have been lost; resend and re-request.
+					r.env.Send(n, RoundOK{Epoch: r.view.Epoch, Round: r.round})
+					r.env.Send(n, PullReq{Epoch: r.view.Epoch, Round: r.round})
+				}
+			}
+		}
+	}
+}
+
+// anyInboxActivity reports whether peers have contributed to a round we have
+// not; our null batch is then owed.
+func (r *Replica) anyInboxActivity() bool {
+	m := r.inbox[r.round]
+	return len(m) > 0 && r.sendRound <= r.round
+}
+
+// OnViewChange resets the round structure for the new membership
+// (simplified virtual synchrony: in-flight rounds are abandoned; client
+// retransmission at a higher layer re-enters lost updates).
+func (r *Replica) OnViewChange(v proto.View) {
+	if v.Epoch <= r.view.Epoch {
+		return
+	}
+	r.view = v.Clone()
+	if !v.Contains(r.id) {
+		r.oper = false
+		return
+	}
+	r.round = 0
+	r.sendRound = 0
+	r.inbox = make(map[uint64]map[proto.NodeID]Batch)
+	r.oks = make(map[uint64]map[proto.NodeID]bool)
+	r.okSent = make(map[uint64]bool)
+	r.myBatches = make(map[uint64]Batch)
+	r.sentAt = make(map[uint64]time.Duration)
+	r.pump()
+}

@@ -1,0 +1,189 @@
+package lockstep
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/prototest"
+)
+
+func build(t *testing.T, n int) *prototest.Harness {
+	return prototest.Build(t, n, func(id proto.NodeID, view proto.View, env proto.Env) proto.Replica {
+		return New(Config{ID: id, View: view, Env: env, MLT: 10 * time.Millisecond})
+	})
+}
+
+func rep(h *prototest.Harness, id proto.NodeID) *Replica {
+	return h.Nodes[id].(*Replica)
+}
+
+func TestSingleWriteDeliversEverywhere(t *testing.T) {
+	h := build(t, 3)
+	op := h.Write(0, 1, "v")
+	h.Run()
+	if c := h.Completion(0, op); c.Status != proto.OK {
+		t.Fatalf("%+v", c)
+	}
+	for id := proto.NodeID(0); id < 3; id++ {
+		if string(rep(h, id).Value(1)) != "v" {
+			t.Fatalf("node %d missing value", id)
+		}
+		if rep(h, id).Round() != 1 {
+			t.Fatalf("node %d round=%d", id, rep(h, id).Round())
+		}
+	}
+	// The two idle members contributed null batches — the lock-step tax.
+	nulls := rep(h, 1).Metrics().NullBatches + rep(h, 2).Metrics().NullBatches
+	if nulls != 2 {
+		t.Fatalf("null batches=%d want 2", nulls)
+	}
+}
+
+func TestIdleGroupIsSilent(t *testing.T) {
+	h := build(t, 3)
+	h.Write(0, 1, "v")
+	h.Run()
+	if len(h.Msgs) != 0 {
+		t.Fatal("messages in flight after quiescence")
+	}
+	h.Advance(15 * time.Millisecond)
+	// No queued updates anywhere: ticks must not spin new rounds.
+	if len(h.Msgs) != 0 {
+		t.Fatalf("idle group generated %d messages", len(h.Msgs))
+	}
+}
+
+func TestTotalOrderAgreesEverywhere(t *testing.T) {
+	// Concurrent writes to the same key from all nodes: every replica must
+	// apply them in the same (round, node) order, hence identical results.
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := build(t, 3)
+		for i := 0; i < 9; i++ {
+			h.Write(proto.NodeID(i%3), 1, string(rune('a'+i)))
+			if rng.Intn(2) == 0 {
+				h.RunShuffled(rng)
+			}
+		}
+		for round := 0; round < 30; round++ {
+			h.RunShuffled(rng)
+			h.Advance(11 * time.Millisecond)
+		}
+		h.Run()
+		ref := rep(h, 0).Value(1)
+		for id := proto.NodeID(1); id < 3; id++ {
+			if string(rep(h, id).Value(1)) != string(ref) {
+				t.Fatalf("seed %d: divergence at node %d", seed, id)
+			}
+		}
+	}
+}
+
+func TestReadsLocal(t *testing.T) {
+	h := build(t, 3)
+	h.Write(1, 1, "v")
+	h.Run()
+	before := len(h.Msgs)
+	op := h.Read(2, 1)
+	if len(h.Msgs) != before {
+		t.Fatal("read generated traffic")
+	}
+	if c := h.Completion(2, op); string(c.Value) != "v" {
+		t.Fatalf("%q", c.Value)
+	}
+}
+
+func TestLockStepBlocksOnSlowMember(t *testing.T) {
+	h := build(t, 3)
+	h.Write(0, 1, "v")
+	// Drop node 2's null batch: the round cannot deliver anywhere.
+	h.DropWhere(func(e prototest.Envelope) bool { return false }) // no-op placeholder
+	// Deliver only node 0's batches; hold node 2's contributions.
+	for {
+		n := h.DropWhere(func(e prototest.Envelope) bool { return e.From == 2 })
+		_ = n
+		if len(h.Msgs) == 0 {
+			break
+		}
+		h.Step()
+	}
+	if rep(h, 0).Round() != 0 {
+		t.Fatal("round delivered without all members' batches")
+	}
+	// Retransmission from node 2 after mlt recovers the round.
+	h.Advance(15 * time.Millisecond)
+	h.Run()
+	if rep(h, 0).Round() != 1 {
+		t.Fatal("round never recovered")
+	}
+}
+
+func TestFAADelivered(t *testing.T) {
+	h := build(t, 3)
+	a := h.FAA(0, 1, 2)
+	b := h.FAA(1, 1, 3)
+	h.Run()
+	h.Advance(15 * time.Millisecond)
+	h.Run()
+	if !h.HasCompletion(0, a) || !h.HasCompletion(1, b) {
+		t.Fatal("FAAs not delivered")
+	}
+	if v := proto.DecodeInt64(rep(h, 2).Value(1)); v != 5 {
+		t.Fatalf("counter=%d", v)
+	}
+}
+
+func TestBatchingAmortizesRounds(t *testing.T) {
+	h := build(t, 3)
+	// Queue many writes at node 0 before any delivery: they ride in few
+	// batches rather than one round each.
+	for i := 0; i < 10; i++ {
+		h.Write(0, proto.Key(i), "v")
+	}
+	h.Run()
+	if r := rep(h, 0).Round(); r > 3 {
+		t.Fatalf("10 writes took %d rounds; batching broken", r)
+	}
+	for k := proto.Key(0); k < 10; k++ {
+		if string(rep(h, 1).Value(k)) != "v" {
+			t.Fatalf("key %d missing", k)
+		}
+	}
+}
+
+func TestViewChangeResetsRounds(t *testing.T) {
+	h := build(t, 3)
+	h.Write(0, 1, "v")
+	h.Run()
+	h.Crash(2)
+	h.RemoveFromView(2)
+	op := h.Write(0, 2, "after")
+	h.Run()
+	h.Advance(15 * time.Millisecond)
+	h.Run()
+	if c := h.Completion(0, op); c.Status != proto.OK {
+		t.Fatalf("write after reconfiguration: %+v", c)
+	}
+	if string(rep(h, 1).Value(2)) != "after" {
+		t.Fatal("surviving follower missed post-reconfiguration write")
+	}
+}
+
+func TestStaleEpochBatchDropped(t *testing.T) {
+	h := build(t, 3)
+	rep(h, 1).Deliver(0, Batch{Epoch: 9, Round: 0})
+	if rep(h, 1).Metrics().StaleEpochDrops != 1 {
+		t.Fatal("stale batch not dropped")
+	}
+}
+
+func TestNonOperationalRejects(t *testing.T) {
+	h := build(t, 3)
+	rep(h, 0).SetOperational(false)
+	op := h.Write(0, 1, "x")
+	if c := h.Completion(0, op); c.Status != proto.NotOperational {
+		t.Fatalf("%+v", c)
+	}
+}

@@ -1,0 +1,98 @@
+package membership
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// A node crashing *during* an ongoing reconfiguration (the proposer itself)
+// must not wedge the group: another node's staggered proposal decides.
+func TestProposerCrashMidReconfiguration(t *testing.T) {
+	h := newMHarness(t, 5)
+	h.runFor(50 * time.Millisecond)
+	h.crashed[4] = true
+	// Let suspicion+lease pass so node 0 (rank 0) is about to propose,
+	// then kill node 0 too.
+	h.runFor(160 * time.Millisecond)
+	h.crashed[0] = true
+	h.runFor(1500 * time.Millisecond)
+	for _, id := range []proto.NodeID{1, 2, 3} {
+		v := h.agents[id].View()
+		if v.Contains(4) || v.Contains(0) {
+			t.Fatalf("node %d: dead nodes still in view %v", id, v)
+		}
+		if len(v.Members) != 3 {
+			t.Fatalf("node %d: view %v", id, v)
+		}
+	}
+}
+
+// Sequential failures: the group shrinks 5 -> 4 -> 3 across two separate
+// reconfigurations with monotonically increasing epochs.
+func TestSequentialFailures(t *testing.T) {
+	h := newMHarness(t, 5)
+	h.runFor(50 * time.Millisecond)
+	h.crashed[4] = true
+	h.runFor(700 * time.Millisecond)
+	e1 := h.agents[0].View().Epoch
+	if h.agents[0].View().Contains(4) {
+		t.Fatal("first failure not handled")
+	}
+	h.crashed[3] = true
+	h.runFor(900 * time.Millisecond)
+	v := h.agents[0].View()
+	if v.Contains(3) || len(v.Members) != 3 {
+		t.Fatalf("second failure not handled: %v", v)
+	}
+	if v.Epoch <= e1 {
+		t.Fatalf("epoch did not advance: %d -> %d", e1, v.Epoch)
+	}
+}
+
+// The agent must never remove so many nodes that nothing remains.
+func TestNeverRemovesEveryone(t *testing.T) {
+	h := newMHarness(t, 3)
+	h.runFor(50 * time.Millisecond)
+	// Partition node 0 from everyone: from 0's perspective both peers die,
+	// but 0 also loses its lease (minority), so it proposes nothing.
+	h.partition([]proto.NodeID{0}, []proto.NodeID{1, 2})
+	h.runFor(900 * time.Millisecond)
+	if got := len(h.agents[0].View().Members); got == 0 {
+		t.Fatal("agent removed every member")
+	}
+	// The majority side reconfigured to {1,2}.
+	if v := h.agents[1].View(); v.Contains(0) {
+		t.Fatalf("majority view still contains isolated node: %v", v)
+	}
+}
+
+// Heartbeats must not leak across epochs in a way that resurrects removed
+// members: after the m-update, a removed node's heartbeats don't re-add it
+// (re-adding is an explicit ProposeView).
+func TestRemovedNodeHeartbeatsDoNotResurrect(t *testing.T) {
+	h := newMHarness(t, 3)
+	h.runFor(50 * time.Millisecond)
+	h.crashed[2] = true
+	h.runFor(700 * time.Millisecond)
+	if h.agents[0].View().Contains(2) {
+		t.Fatal("not removed")
+	}
+	// Node 2 comes back online (crash-recover) and heartbeats again.
+	h.crashed[2] = false
+	h.runFor(300 * time.Millisecond)
+	if h.agents[0].View().Contains(2) {
+		t.Fatal("heartbeats alone re-added a removed node")
+	}
+	// It learns the newer epoch via ViewReq and can then be re-added
+	// explicitly (as a learner first, per §3.4 Recovery).
+	if h.agents[2].View().Epoch != h.agents[0].View().Epoch {
+		t.Fatal("recovered node did not catch up on the view")
+	}
+	h.agents[0].ProposeView(h.agents[0].View().Members, []proto.NodeID{2})
+	h.runFor(200 * time.Millisecond)
+	if !h.agents[0].View().IsLearner(2) {
+		t.Fatalf("explicit re-add failed: %v", h.agents[0].View())
+	}
+}

@@ -1,0 +1,224 @@
+// Package prototest provides a reusable in-memory harness for testing
+// protocol state machines (anything implementing proto.Replica) with full
+// control over message delivery order, loss, duplication and virtual time.
+// The protocol packages' unit tests build on it; internal/core has its own
+// specialized copy with access to Hermes internals.
+package prototest
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// Envelope is one in-flight message.
+type Envelope struct {
+	From, To proto.NodeID
+	Msg      any
+}
+
+// Harness wires replicas to a controllable message pool.
+type Harness struct {
+	T       *testing.T
+	NowTime time.Duration
+	Nodes   map[proto.NodeID]proto.Replica
+	ViewNow proto.View
+	Msgs    []Envelope
+	Done    map[proto.NodeID][]proto.Completion
+	Crashed map[proto.NodeID]bool
+	nextOp  uint64
+}
+
+type env struct {
+	h  *Harness
+	id proto.NodeID
+}
+
+func (e *env) Now() time.Duration { return e.h.NowTime }
+func (e *env) Send(to proto.NodeID, m any) {
+	e.h.Msgs = append(e.h.Msgs, Envelope{From: e.id, To: to, Msg: m})
+}
+func (e *env) Complete(c proto.Completion) {
+	e.h.Done[e.id] = append(e.h.Done[e.id], c)
+}
+
+// Build creates a harness of n nodes using the factory.
+func Build(t *testing.T, n int, factory func(id proto.NodeID, view proto.View, env proto.Env) proto.Replica) *Harness {
+	t.Helper()
+	members := make([]proto.NodeID, n)
+	for i := range members {
+		members[i] = proto.NodeID(i)
+	}
+	view := proto.View{Epoch: 1, Members: members}
+	h := &Harness{
+		T:       t,
+		Nodes:   make(map[proto.NodeID]proto.Replica),
+		ViewNow: view,
+		Done:    make(map[proto.NodeID][]proto.Completion),
+		Crashed: make(map[proto.NodeID]bool),
+	}
+	for _, id := range members {
+		h.Nodes[id] = factory(id, view, &env{h: h, id: id})
+	}
+	return h
+}
+
+// Step delivers the oldest in-flight message; false if none remain.
+func (h *Harness) Step() bool {
+	for len(h.Msgs) > 0 {
+		e := h.Msgs[0]
+		h.Msgs = h.Msgs[1:]
+		if h.Crashed[e.To] || h.Crashed[e.From] {
+			continue
+		}
+		if n, ok := h.Nodes[e.To]; ok {
+			n.Deliver(e.From, e.Msg)
+			return true
+		}
+	}
+	return false
+}
+
+// Run delivers messages FIFO until quiet.
+func (h *Harness) Run() {
+	for i := 0; ; i++ {
+		if !h.Step() {
+			return
+		}
+		if i > 1_000_000 {
+			h.T.Fatal("prototest: message storm")
+		}
+	}
+}
+
+// RunShuffled delivers all messages in a random order.
+func (h *Harness) RunShuffled(rng *rand.Rand) {
+	for i := 0; len(h.Msgs) > 0; i++ {
+		j := rng.Intn(len(h.Msgs))
+		h.Msgs[0], h.Msgs[j] = h.Msgs[j], h.Msgs[0]
+		if !h.Step() {
+			return
+		}
+		if i > 1_000_000 {
+			h.T.Fatal("prototest: message storm")
+		}
+	}
+}
+
+// DropWhere removes matching in-flight messages; returns the count.
+func (h *Harness) DropWhere(match func(Envelope) bool) int {
+	kept := h.Msgs[:0]
+	n := 0
+	for _, e := range h.Msgs {
+		if match(e) {
+			n++
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	h.Msgs = kept
+	return n
+}
+
+// DuplicateAll duplicates every in-flight message.
+func (h *Harness) DuplicateAll() { h.Msgs = append(h.Msgs, h.Msgs...) }
+
+// Advance moves the clock and ticks live nodes.
+func (h *Harness) Advance(d time.Duration) {
+	h.NowTime += d
+	for id, n := range h.Nodes {
+		if !h.Crashed[id] {
+			n.Tick()
+		}
+	}
+}
+
+// Crash stops a node and drops its traffic.
+func (h *Harness) Crash(id proto.NodeID) {
+	h.Crashed[id] = true
+	h.DropWhere(func(e Envelope) bool { return e.To == id || e.From == id })
+}
+
+// RemoveFromView installs a view without id at every live node.
+func (h *Harness) RemoveFromView(id proto.NodeID) {
+	nv := proto.View{Epoch: h.ViewNow.Epoch + 1}
+	for _, m := range h.ViewNow.Members {
+		if m != id {
+			nv.Members = append(nv.Members, m)
+		}
+	}
+	nv.Learners = append(nv.Learners, h.ViewNow.Learners...)
+	h.InstallView(nv)
+}
+
+// InstallView delivers an m-update to every live node.
+func (h *Harness) InstallView(v proto.View) {
+	h.ViewNow = v
+	for id, n := range h.Nodes {
+		if !h.Crashed[id] {
+			n.OnViewChange(v)
+		}
+	}
+}
+
+// Submit assigns a fresh op ID and submits at node id.
+func (h *Harness) Submit(id proto.NodeID, op proto.ClientOp) uint64 {
+	h.nextOp++
+	op.ID = h.nextOp
+	h.Nodes[id].Submit(op)
+	return h.nextOp
+}
+
+// Write submits a write.
+func (h *Harness) Write(id proto.NodeID, key proto.Key, val string) uint64 {
+	return h.Submit(id, proto.ClientOp{Kind: proto.OpWrite, Key: key, Value: proto.Value(val)})
+}
+
+// Read submits a read.
+func (h *Harness) Read(id proto.NodeID, key proto.Key) uint64 {
+	return h.Submit(id, proto.ClientOp{Kind: proto.OpRead, Key: key})
+}
+
+// FAA submits a fetch-and-add.
+func (h *Harness) FAA(id proto.NodeID, key proto.Key, delta int64) uint64 {
+	return h.Submit(id, proto.ClientOp{Kind: proto.OpFAA, Key: key, Value: proto.EncodeInt64(delta)})
+}
+
+// CAS submits a compare-and-swap.
+func (h *Harness) CAS(id proto.NodeID, key proto.Key, expect, val string) uint64 {
+	return h.Submit(id, proto.ClientOp{Kind: proto.OpCAS, Key: key, Expected: proto.Value(expect), Value: proto.Value(val)})
+}
+
+// Completion fetches opID's completion at node id or fails the test.
+func (h *Harness) Completion(id proto.NodeID, opID uint64) proto.Completion {
+	h.T.Helper()
+	for _, c := range h.Done[id] {
+		if c.OpID == opID {
+			return c
+		}
+	}
+	h.T.Fatalf("node %d: no completion for op %d (have %v)", id, opID, h.Done[id])
+	return proto.Completion{}
+}
+
+// HasCompletion reports whether opID completed at node id.
+func (h *Harness) HasCompletion(id proto.NodeID, opID uint64) bool {
+	for _, c := range h.Done[id] {
+		if c.OpID == opID {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadBack issues a read at id and runs the pool to quiescence, returning
+// the value (drives protocols whose reads may need remote hops, e.g. CRAQ
+// tail queries).
+func (h *Harness) ReadBack(id proto.NodeID, key proto.Key) proto.Value {
+	h.T.Helper()
+	op := h.Read(id, key)
+	h.Run()
+	return h.Completion(id, op).Value
+}

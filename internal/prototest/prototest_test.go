@@ -1,0 +1,140 @@
+package prototest
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// echoReplica is a trivial protocol for exercising the harness itself:
+// writes broadcast the value; a replica applies the highest op ID it saw.
+type echoReplica struct {
+	id   proto.NodeID
+	env  proto.Env
+	view proto.View
+	last proto.Value
+	seen uint64
+}
+
+type echoMsg struct {
+	ID  uint64
+	Val proto.Value
+}
+
+func (e *echoReplica) ID() proto.NodeID { return e.id }
+func (e *echoReplica) Submit(op proto.ClientOp) {
+	switch op.Kind {
+	case proto.OpRead:
+		e.env.Complete(proto.Completion{OpID: op.ID, Kind: proto.OpRead, Key: op.Key, Status: proto.OK, Value: e.last})
+	default:
+		for _, n := range e.view.Others(e.id) {
+			e.env.Send(n, echoMsg{ID: op.ID, Val: op.Value})
+		}
+		e.apply(echoMsg{ID: op.ID, Val: op.Value})
+		e.env.Complete(proto.Completion{OpID: op.ID, Kind: op.Kind, Key: op.Key, Status: proto.OK})
+	}
+}
+func (e *echoReplica) apply(m echoMsg) {
+	if m.ID > e.seen {
+		e.seen = m.ID
+		e.last = m.Val
+	}
+}
+func (e *echoReplica) Deliver(from proto.NodeID, msg any) { e.apply(msg.(echoMsg)) }
+func (e *echoReplica) Tick()                              {}
+func (e *echoReplica) OnViewChange(v proto.View)          { e.view = v.Clone() }
+
+func buildEcho(t *testing.T, n int) *Harness {
+	return Build(t, n, func(id proto.NodeID, view proto.View, env proto.Env) proto.Replica {
+		return &echoReplica{id: id, env: env, view: view}
+	})
+}
+
+func TestHarnessDeliversFIFO(t *testing.T) {
+	h := buildEcho(t, 3)
+	op := h.Write(0, 1, "x")
+	if !h.HasCompletion(0, op) {
+		t.Fatal("echo write should complete synchronously")
+	}
+	h.Run()
+	for id := proto.NodeID(0); id < 3; id++ {
+		if got := h.Nodes[id].(*echoReplica).last; string(got) != "x" {
+			t.Fatalf("node %d: %q", id, got)
+		}
+	}
+}
+
+func TestHarnessDropAndDuplicate(t *testing.T) {
+	h := buildEcho(t, 3)
+	h.Write(0, 1, "a")
+	if n := h.DropWhere(func(e Envelope) bool { return e.To == 2 }); n != 1 {
+		t.Fatalf("dropped %d", n)
+	}
+	h.DuplicateAll()
+	h.Run()
+	if string(h.Nodes[1].(*echoReplica).last) != "a" {
+		t.Fatal("node 1 missed the duplicate-surviving message")
+	}
+	if string(h.Nodes[2].(*echoReplica).last) != "" {
+		t.Fatal("dropped message leaked to node 2")
+	}
+}
+
+func TestHarnessCrashIsolation(t *testing.T) {
+	h := buildEcho(t, 3)
+	h.Crash(1)
+	h.Write(0, 1, "b")
+	h.Run()
+	if string(h.Nodes[1].(*echoReplica).last) != "" {
+		t.Fatal("crashed node received traffic")
+	}
+	if string(h.Nodes[2].(*echoReplica).last) != "b" {
+		t.Fatal("live node missed traffic")
+	}
+}
+
+func TestHarnessViewManagement(t *testing.T) {
+	h := buildEcho(t, 3)
+	h.RemoveFromView(2)
+	if h.ViewNow.Epoch != 2 || h.ViewNow.Contains(2) {
+		t.Fatalf("view: %v", h.ViewNow)
+	}
+	// After the m-update, node 0 broadcasts only to node 1.
+	h.Write(0, 1, "c")
+	if len(h.Msgs) != 1 || h.Msgs[0].To != 1 {
+		t.Fatalf("msgs: %+v", h.Msgs)
+	}
+}
+
+func TestHarnessClockAndTicks(t *testing.T) {
+	h := buildEcho(t, 2)
+	if h.NowTime != 0 {
+		t.Fatal("clock should start at zero")
+	}
+	h.Advance(5 * time.Millisecond)
+	if h.NowTime != 5*time.Millisecond {
+		t.Fatalf("clock=%v", h.NowTime)
+	}
+}
+
+func TestHarnessReadBack(t *testing.T) {
+	h := buildEcho(t, 2)
+	h.Write(0, 7, "rv")
+	h.Run()
+	if v := h.ReadBack(1, 7); string(v) != "rv" {
+		t.Fatalf("readback=%q", v)
+	}
+}
+
+func TestHarnessOpHelpers(t *testing.T) {
+	h := buildEcho(t, 2)
+	a := h.FAA(0, 1, 5)
+	b := h.CAS(0, 1, "x", "y")
+	if a == b {
+		t.Fatal("op IDs must be unique")
+	}
+	if c := h.Completion(0, a); c.Kind != proto.OpFAA {
+		t.Fatalf("faa completion: %+v", c)
+	}
+}

@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/membership"
+	"repro/internal/proto"
+)
+
+// Costs is the host CPU model: a host is a FIFO single server (the
+// aggregate of the paper's worker threads on one machine); every handled
+// client op and protocol message occupies it for the configured service
+// time, so overload surfaces as queueing delay — which is exactly how the
+// ZAB leader and the CRAQ tail become bottlenecks in the paper's evaluation.
+type Costs struct {
+	// ClientOp is the local service time of one client request (decode +
+	// KVS access; §4.1).
+	ClientOp time.Duration
+	// Message is the service time of one incoming protocol message.
+	Message time.Duration
+	// PerByte adds CPU time per payload byte handled (large-object cost,
+	// Fig. 8).
+	PerByte time.Duration
+}
+
+// DefaultCosts gives a node roughly 2 Mops/s of local read capacity — a
+// scaled-down stand-in for the testbed's ~197 Mops/s 20-thread nodes. All
+// figures reproduce shapes, not absolute rates (see DESIGN.md §2).
+func DefaultCosts() Costs {
+	return Costs{ClientOp: 500 * time.Nanosecond, Message: 300 * time.Nanosecond}
+}
+
+// RMParams configures the reliable-membership agents. Nil RMParams in
+// Config runs with a static membership (no heartbeat traffic), which is how
+// the throughput/latency figures are measured; the failure experiment
+// (Fig. 9) enables it.
+type RMParams struct {
+	HeartbeatEvery time.Duration
+	SuspectAfter   time.Duration
+	LeaseDur       time.Duration
+}
+
+// Factory builds one replica of the protocol under test.
+type Factory func(id proto.NodeID, view proto.View, env proto.Env) proto.Replica
+
+// Config assembles a simulated cluster.
+type Config struct {
+	Nodes     int
+	Factory   Factory
+	Net       NetConfig
+	Costs     Costs
+	TickEvery time.Duration // protocol timer granularity (default 100µs)
+	Seed      int64
+	RM        *RMParams
+	// SizeOf estimates a message's wire payload size for PerByte costs and
+	// bandwidth accounting; nil uses a flat 64 B.
+	SizeOf func(msg any) int
+}
+
+// Cluster is a simulated deployment: engine + network + hosts + sessions.
+type Cluster struct {
+	cfg   Config
+	eng   *Engine
+	net   *Network
+	hosts []*host
+	view  proto.View
+
+	sessions map[proto.NodeID]map[uint64]func(proto.Completion)
+
+	// ViewChanges counts installed m-updates across hosts.
+	ViewChanges uint64
+}
+
+type host struct {
+	c         *Cluster
+	id        proto.NodeID
+	rep       proto.Replica
+	agent     *membership.Agent
+	busyUntil time.Duration
+	crashed   bool
+	// Busy accumulates CPU time consumed, for utilization accounting.
+	Busy time.Duration
+}
+
+// hostEnv adapts a host to proto.Env. Handlers execute at their CPU
+// completion time, so sends and Now() observed by the protocol naturally
+// reflect processing delay.
+type hostEnv struct{ h *host }
+
+func (e hostEnv) Now() time.Duration { return e.h.c.eng.Now() }
+
+func (e hostEnv) Send(to proto.NodeID, msg any) {
+	c := e.h.c
+	c.net.Send(e.h.id, to, msg, c.sizeOf(msg))
+}
+
+func (e hostEnv) Complete(comp proto.Completion) {
+	e.h.c.complete(e.h.id, comp)
+}
+
+// New builds the cluster. Node IDs are 0..Nodes-1, all members of epoch 1.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		panic("sim: Config.Nodes must be positive")
+	}
+	if cfg.Factory == nil {
+		panic("sim: Config.Factory is required")
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 100 * time.Microsecond
+	}
+	if cfg.Costs == (Costs{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		eng:      NewEngine(),
+		sessions: make(map[proto.NodeID]map[uint64]func(proto.Completion)),
+	}
+	c.net = NewNetwork(cfg.Net, c.eng, cfg.Seed^0x5eed, c.deliver)
+
+	members := make([]proto.NodeID, cfg.Nodes)
+	for i := range members {
+		members[i] = proto.NodeID(i)
+	}
+	c.view = proto.View{Epoch: 1, Members: members}
+
+	for _, id := range members {
+		h := &host{c: c, id: id}
+		env := hostEnv{h: h}
+		h.rep = cfg.Factory(id, c.view, env)
+		if cfg.RM != nil {
+			h.agent = membership.New(membership.Config{
+				ID: id, All: members, Initial: c.view, Env: env,
+				HeartbeatEvery: cfg.RM.HeartbeatEvery,
+				SuspectAfter:   cfg.RM.SuspectAfter,
+				LeaseDur:       cfg.RM.LeaseDur,
+				OnView: func(v proto.View) {
+					c.ViewChanges++
+					h.rep.OnViewChange(v)
+				},
+				OnLease: func(ok bool) {
+					if la, is := h.rep.(interface{ SetOperational(bool) }); is {
+						la.SetOperational(ok)
+					}
+				},
+			})
+		}
+		c.hosts = append(c.hosts, h)
+		c.sessions[id] = make(map[uint64]func(proto.Completion))
+	}
+	// Timer loop per host.
+	for _, h := range c.hosts {
+		h := h
+		var tick func()
+		tick = func() {
+			if !h.crashed {
+				h.rep.Tick()
+				if h.agent != nil {
+					h.agent.Tick()
+				}
+			}
+			c.eng.After(cfg.TickEvery, tick)
+		}
+		c.eng.After(cfg.TickEvery, tick)
+	}
+	return c
+}
+
+// Engine exposes the virtual clock (tests and the bench harness use it).
+func (c *Cluster) Engine() *Engine { return c.eng }
+
+// Network exposes the network for partitions and counters.
+func (c *Cluster) Network() *Network { return c.net }
+
+// Replica returns node id's protocol instance.
+func (c *Cluster) Replica(id proto.NodeID) proto.Replica { return c.hosts[id].rep }
+
+// View returns the initial static view.
+func (c *Cluster) View() proto.View { return c.view }
+
+func (c *Cluster) sizeOf(msg any) int {
+	if c.cfg.SizeOf != nil {
+		return c.cfg.SizeOf(msg)
+	}
+	return 64
+}
+
+// exec models the host CPU: fn runs after the host has had cost free CPU
+// time, FIFO behind earlier work.
+func (h *host) exec(cost time.Duration, fn func()) {
+	start := h.c.eng.Now()
+	if h.busyUntil > start {
+		start = h.busyUntil
+	}
+	h.busyUntil = start + cost
+	h.Busy += cost
+	h.c.eng.At(h.busyUntil, func() {
+		if !h.crashed {
+			fn()
+		}
+	})
+}
+
+// deliver is the network's arrival callback.
+func (c *Cluster) deliver(to, from proto.NodeID, msg any, bytes int) {
+	h := c.hosts[to]
+	if h.crashed {
+		return
+	}
+	cost := c.cfg.Costs.Message + time.Duration(bytes)*c.cfg.Costs.PerByte
+	h.exec(cost, func() {
+		if membership.IsMsg(msg) {
+			if h.agent != nil {
+				h.agent.Deliver(from, msg)
+			}
+			return
+		}
+		h.rep.Deliver(from, msg)
+	})
+}
+
+// Submit injects a client operation at node id; cb fires at completion.
+func (c *Cluster) Submit(id proto.NodeID, op proto.ClientOp, cb func(proto.Completion)) {
+	h := c.hosts[id]
+	if h.crashed {
+		return // client loses its server; the session ends
+	}
+	c.sessions[id][op.ID] = cb
+	cost := c.cfg.Costs.ClientOp + time.Duration(len(op.Value))*c.cfg.Costs.PerByte
+	h.exec(cost, func() { h.rep.Submit(op) })
+}
+
+func (c *Cluster) complete(id proto.NodeID, comp proto.Completion) {
+	m := c.sessions[id]
+	cb := m[comp.OpID]
+	if cb == nil {
+		return
+	}
+	delete(m, comp.OpID)
+	cb(comp)
+}
+
+// CrashAt schedules a crash-stop failure of node id at virtual time t.
+func (c *Cluster) CrashAt(id proto.NodeID, t time.Duration) {
+	c.eng.At(t, func() { c.hosts[id].crashed = true })
+}
+
+// Crashed reports whether the node has crashed.
+func (c *Cluster) Crashed(id proto.NodeID) bool { return c.hosts[id].crashed }
+
+// InstallView force-installs a view at every live host (used when RM is
+// disabled but a test still wants an m-update).
+func (c *Cluster) InstallView(v proto.View) {
+	for _, h := range c.hosts {
+		if !h.crashed {
+			h.rep.OnViewChange(v)
+		}
+	}
+	c.view = v
+}
+
+// Utilization returns each host's CPU busy fraction over elapsed time.
+func (c *Cluster) Utilization() []float64 {
+	el := c.eng.Now()
+	if el == 0 {
+		return make([]float64, len(c.hosts))
+	}
+	out := make([]float64, len(c.hosts))
+	for i, h := range c.hosts {
+		out[i] = float64(h.Busy) / float64(el)
+	}
+	return out
+}
+
+func (c *Cluster) String() string {
+	return fmt.Sprintf("sim.Cluster{nodes=%d, now=%v}", len(c.hosts), c.eng.Now())
+}

@@ -1,0 +1,83 @@
+// Package sim is the discrete-event cluster simulator that stands in for
+// the paper's 7-node RDMA testbed (§5.2). It provides:
+//
+//   - a virtual clock and event heap (engine.go),
+//   - a network model with configurable latency, jitter, loss, duplication,
+//     reordering and partitions (network.go),
+//   - hosts with a queueing CPU model so per-node load imbalance (the ZAB
+//     leader, the CRAQ tail) surfaces as queueing delay and throughput caps
+//     (cluster.go),
+//   - closed-loop client sessions, latency histograms and throughput series
+//     (run.go).
+//
+// Protocol state machines run unmodified under the simulator; virtual time
+// makes latency distributions deterministic and reproducible from seeds.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is a discrete-event executor over virtual time.
+type Engine struct {
+	now time.Duration
+	pq  eventHeap
+	seq uint64
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64 // FIFO tiebreak for simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d from now.
+func (e *Engine) After(d time.Duration, fn func()) { e.At(e.now+d, fn) }
+
+// RunUntil executes events in time order until the clock reaches t or no
+// events remain. Returns the number of events executed.
+func (e *Engine) RunUntil(t time.Duration) int {
+	n := 0
+	for len(e.pq) > 0 && e.pq[0].at <= t {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return n
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.pq) }

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// NetConfig models an intra-datacenter fabric. Defaults approximate the
+// paper's InfiniBand testbed shape: microsecond-scale base latency with
+// exponential jitter. Loss, duplication and reordering (via jitter) model
+// the "imperfect links" of §3.4; Partitioned models link failures.
+type NetConfig struct {
+	// BaseLatency is the one-way propagation+switching delay.
+	BaseLatency time.Duration
+	// Jitter is the mean of an exponential delay added per message; it also
+	// produces natural reordering.
+	Jitter time.Duration
+	// LossProb drops a message; DupProb delivers it twice.
+	LossProb, DupProb float64
+	// PerByte adds serialization delay per payload byte (object-size
+	// sensitivity, Fig. 8). Zero disables.
+	PerByte time.Duration
+}
+
+// DefaultNet mirrors a low-latency RDMA-class fabric.
+func DefaultNet() NetConfig {
+	return NetConfig{BaseLatency: 2 * time.Microsecond, Jitter: 500 * time.Nanosecond}
+}
+
+// Network delivers messages between hosts under NetConfig.
+type Network struct {
+	cfg NetConfig
+	eng *Engine
+	rng *rand.Rand
+	// blocked reports whether traffic a->b is cut (partition). Nil = never.
+	blocked func(a, b proto.NodeID) bool
+	deliver func(to proto.NodeID, from proto.NodeID, msg any, bytes int)
+
+	// Counters for bandwidth accounting.
+	Sent, Dropped, Duplicated uint64
+}
+
+// NewNetwork builds a network; deliver is invoked at arrival time.
+func NewNetwork(cfg NetConfig, eng *Engine, seed int64,
+	deliver func(to, from proto.NodeID, msg any, bytes int)) *Network {
+	return &Network{cfg: cfg, eng: eng, rng: rand.New(rand.NewSource(seed)), deliver: deliver}
+}
+
+// SetPartition installs (or clears, with nil) the partition predicate.
+func (n *Network) SetPartition(blocked func(a, b proto.NodeID) bool) { n.blocked = blocked }
+
+// Send queues msg for delivery from a to b; bytes scales serialization
+// delay for large objects.
+func (n *Network) Send(from, to proto.NodeID, msg any, bytes int) {
+	n.Sent++
+	if n.blocked != nil && n.blocked(from, to) {
+		n.Dropped++
+		return
+	}
+	if n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb {
+		n.Dropped++
+		return
+	}
+	n.scheduleDelivery(from, to, msg, bytes)
+	if n.cfg.DupProb > 0 && n.rng.Float64() < n.cfg.DupProb {
+		n.Duplicated++
+		n.scheduleDelivery(from, to, msg, bytes)
+	}
+}
+
+func (n *Network) scheduleDelivery(from, to proto.NodeID, msg any, bytes int) {
+	d := n.cfg.BaseLatency
+	if n.cfg.Jitter > 0 {
+		d += time.Duration(n.rng.ExpFloat64() * float64(n.cfg.Jitter))
+	}
+	if n.cfg.PerByte > 0 && bytes > 0 {
+		d += time.Duration(bytes) * n.cfg.PerByte
+	}
+	n.eng.After(d, func() { n.deliver(to, from, msg, bytes) })
+}

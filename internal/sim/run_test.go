@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/workload"
+)
+
+func TestWarmupExcludedFromStats(t *testing.T) {
+	c := newTestCluster(t, 3)
+	res := c.RunWorkload(WorkloadParams{
+		Workload:        workload.Config{Keys: 64, WriteRatio: 0},
+		SessionsPerNode: 1,
+		Warmup:          2 * time.Millisecond,
+		Duration:        time.Millisecond,
+	})
+	// At ~0.5µs per local read, 3 sessions complete far more ops in 3ms
+	// than the 1ms window admits; warmup ops must not be counted.
+	maxInWindow := uint64(3 * (time.Millisecond / (500 * time.Nanosecond)))
+	if res.Ops == 0 || res.Ops > maxInWindow {
+		t.Fatalf("ops=%d exceeds the measured window's capacity %d", res.Ops, maxInWindow)
+	}
+}
+
+func TestSessionsGetUniqueOpIDs(t *testing.T) {
+	// Regression: sessions on one node must not share completion slots
+	// (generator IDs restart at 1 per session). With S sessions per node,
+	// throughput must scale with S until CPU-bound — it cannot if sessions
+	// clobber each other's callbacks and starve.
+	run := func(sessions int) float64 {
+		c := newTestCluster(t, 3)
+		res := c.RunWorkload(WorkloadParams{
+			Workload:        workload.Config{Keys: 4096, WriteRatio: 1, ValueSize: 8},
+			SessionsPerNode: sessions,
+			Warmup:          500 * time.Microsecond,
+			Duration:        3 * time.Millisecond,
+		})
+		return res.Throughput
+	}
+	t1, t4 := run(1), run(4)
+	if t4 < 2*t1 {
+		t.Fatalf("4 sessions (%.0f) not ~4x 1 session (%.0f): sessions starving", t4, t1)
+	}
+}
+
+func TestSeriesCoversWholeRunIncludingWarmup(t *testing.T) {
+	c := newTestCluster(t, 3)
+	res := c.RunWorkload(WorkloadParams{
+		Workload:        workload.Config{Keys: 64, WriteRatio: 0.1},
+		SessionsPerNode: 2,
+		Warmup:          2 * time.Millisecond,
+		Duration:        3 * time.Millisecond,
+		SeriesBucket:    time.Millisecond,
+	})
+	b := res.Series.Buckets()
+	if len(b) < 5 {
+		t.Fatalf("series has %d buckets, want >=5 (warmup+duration)", len(b))
+	}
+	if b[0] == 0 {
+		t.Fatal("warmup activity missing from series")
+	}
+}
+
+func TestDefaultSessionCountApplied(t *testing.T) {
+	c := newTestCluster(t, 3)
+	res := c.RunWorkload(WorkloadParams{
+		Workload: workload.Config{Keys: 64, WriteRatio: 0},
+		Duration: time.Millisecond,
+	})
+	if res.Ops == 0 {
+		t.Fatal("default sessions did not run")
+	}
+}
+
+func TestResultHistogramsSeparateKinds(t *testing.T) {
+	c := newTestCluster(t, 3)
+	res := c.RunWorkload(WorkloadParams{
+		Workload:        workload.Config{Keys: 64, WriteRatio: 0.3},
+		SessionsPerNode: 2,
+		Duration:        2 * time.Millisecond,
+	})
+	if res.Read.Count()+res.Write.Count() != res.All.Count() {
+		t.Fatalf("histogram split broken: %d + %d != %d",
+			res.Read.Count(), res.Write.Count(), res.All.Count())
+	}
+}
+
+func TestCrashedNodeSessionsStop(t *testing.T) {
+	c := newTestCluster(t, 3)
+	c.CrashAt(2, time.Millisecond)
+	res := c.RunWorkload(WorkloadParams{
+		Workload:        workload.Config{Keys: 64, WriteRatio: 0},
+		SessionsPerNode: 1,
+		Duration:        4 * time.Millisecond,
+		SeriesBucket:    time.Millisecond,
+	})
+	_ = res
+	if !c.Crashed(2) {
+		t.Fatal("crash did not fire")
+	}
+	// Submitting at the crashed node is a silent no-op.
+	c.Submit(2, proto.ClientOp{ID: 1, Kind: proto.OpRead, Key: 1}, func(proto.Completion) {
+		t.Fatal("completion from a crashed node")
+	})
+	c.Engine().RunUntil(c.Engine().Now() + time.Millisecond)
+}

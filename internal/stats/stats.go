@@ -1,0 +1,336 @@
+// Package stats provides the measurement primitives the benchmark harness
+// uses to regenerate the paper's figures: log-bucketed latency histograms
+// (median and tail percentiles, Fig. 6) and time-bucketed throughput series
+// (Fig. 9).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Histogram is a latency histogram with logarithmically spaced buckets
+// (HdrHistogram-style, base-2 exponent with linear sub-buckets). It records
+// time.Duration samples with bounded relative error (~1/subBuckets) and
+// answers percentile queries without retaining samples.
+//
+// The zero value is not usable; call NewHistogram.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+const (
+	subBits    = 5 // 32 linear sub-buckets per power of two => <=3.1% error
+	subBuckets = 1 << subBits
+	numExp     = 40 // covers up to ~2^40 ns ~= 18 minutes
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		counts: make([]uint64, numExp*subBuckets),
+		min:    math.MaxInt64,
+	}
+}
+
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBuckets {
+		return int(v)
+	}
+	// exponent of the highest set bit
+	exp := 63 - leadingZeros64(uint64(v))
+	// top subBits bits below the leading bit select the sub-bucket
+	sub := int(v>>(uint(exp)-subBits)) - subBuckets
+	idx := (exp-subBits+1)*subBuckets + sub
+	if idx >= numExp*subBuckets {
+		idx = numExp*subBuckets - 1
+	}
+	return idx
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// bucketLow returns the lower bound value represented by bucket idx.
+func bucketLow(idx int) int64 {
+	if idx < subBuckets {
+		return int64(idx)
+	}
+	exp := idx/subBuckets + subBits - 1
+	sub := idx % subBuckets
+	return (int64(subBuckets) + int64(sub)) << (uint(exp) - subBits)
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge adds all samples of o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the mean of recorded samples, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.total))
+}
+
+// Min returns the smallest recorded sample, or 0 if empty.
+func (h *Histogram) Min() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max returns the largest recorded sample, or 0 if empty.
+func (h *Histogram) Max() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.max)
+}
+
+// Percentile returns the value at quantile p in [0,100], e.g. 50 for the
+// median and 99 for the tail the paper reports. Returns 0 if empty.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketLow(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Median is Percentile(50).
+func (h *Histogram) Median() time.Duration { return h.Percentile(50) }
+
+// P99 is Percentile(99).
+func (h *Histogram) P99() time.Duration { return h.Percentile(99) }
+
+// String summarizes the distribution for logs and tables.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d p50=%v p99=%v max=%v", h.total, h.Median(), h.P99(), h.Max())
+}
+
+// Series accumulates event counts into fixed-width time buckets, producing a
+// throughput-over-time curve (used for the failure experiment, Fig. 9).
+type Series struct {
+	width   time.Duration
+	buckets []uint64
+}
+
+// NewSeries returns a Series with the given bucket width.
+func NewSeries(width time.Duration) *Series {
+	if width <= 0 {
+		panic("stats: series bucket width must be positive")
+	}
+	return &Series{width: width}
+}
+
+// Add records one event at time t (relative to the series origin).
+func (s *Series) Add(t time.Duration) {
+	if t < 0 {
+		return
+	}
+	i := int(t / s.width)
+	for len(s.buckets) <= i {
+		s.buckets = append(s.buckets, 0)
+	}
+	s.buckets[i]++
+}
+
+// BucketWidth returns the configured width.
+func (s *Series) BucketWidth() time.Duration { return s.width }
+
+// Buckets returns a copy of the per-bucket counts.
+func (s *Series) Buckets() []uint64 {
+	return append([]uint64(nil), s.buckets...)
+}
+
+// Rate returns the per-second event rate of bucket i.
+func (s *Series) Rate(i int) float64 {
+	if i < 0 || i >= len(s.buckets) {
+		return 0
+	}
+	return float64(s.buckets[i]) / s.width.Seconds()
+}
+
+// Rates returns the per-second rate for every bucket.
+func (s *Series) Rates() []float64 {
+	out := make([]float64, len(s.buckets))
+	for i := range s.buckets {
+		out[i] = s.Rate(i)
+	}
+	return out
+}
+
+// Table renders rows of columns as an aligned text table; the harness prints
+// every reproduced figure and table this way.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells formatted with fmt.Sprint.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if w := widths[i] - len(c); w > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", w))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Summary of a set of float samples; used for fairness ablations.
+type Summary struct {
+	N                int
+	Mean, Stdev      float64
+	Min, Max, Median float64
+}
+
+// Summarize computes summary statistics of xs (xs is not modified).
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	s.Min, s.Max = cp[0], cp[len(cp)-1]
+	s.Median = cp[len(cp)/2]
+	var sum float64
+	for _, x := range cp {
+		sum += x
+	}
+	s.Mean = sum / float64(len(cp))
+	var ss float64
+	for _, x := range cp {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Stdev = math.Sqrt(ss / float64(len(cp)))
+	return s
+}

@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Median() != 0 || h.P99() != 0 ||
+		h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Record(42 * time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		got := h.Percentile(p)
+		if got != 42*time.Microsecond {
+			t.Fatalf("p%.0f=%v want 42µs", p, got)
+		}
+	}
+	if h.Min() != 42*time.Microsecond || h.Max() != 42*time.Microsecond {
+		t.Fatal("min/max wrong")
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	// Record 1..10000 µs uniformly: percentiles should land within the
+	// histogram's relative error (~3.1% per sub-bucket) of the exact value.
+	h := NewHistogram()
+	for i := 1; i <= 10000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	for _, p := range []float64{10, 50, 90, 99} {
+		exact := float64(p) / 100 * 10000 // µs
+		got := h.Percentile(p).Seconds() * 1e6
+		if relErr := math.Abs(got-exact) / exact; relErr > 0.05 {
+			t.Fatalf("p%.0f=%vµs exact=%vµs relErr=%.3f", p, got, exact, relErr)
+		}
+	}
+	if m := h.Mean().Seconds() * 1e6; math.Abs(m-5000.5) > 1 {
+		t.Fatalf("mean=%v want ~5000.5µs", m)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5) // should clamp to bucket 0, not panic
+	if h.Count() != 1 {
+		t.Fatal("negative sample not recorded")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Record(time.Duration(i) * time.Millisecond)
+		b.Record(time.Duration(i+100) * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count=%d", a.Count())
+	}
+	if a.Max() < 190*time.Millisecond {
+		t.Fatalf("merged max=%v", a.Max())
+	}
+	if a.Min() != 0 {
+		t.Fatalf("merged min=%v", a.Min())
+	}
+}
+
+// Property: the bucket index function is monotone non-decreasing and every
+// value falls in a bucket whose low bound does not exceed it.
+func TestBucketIndexProperties(t *testing.T) {
+	monotone := func(a, b int64) bool {
+		if a < 0 {
+			a = -a
+		}
+		if b < 0 {
+			b = -b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return bucketIndex(a) <= bucketIndex(b)
+	}
+	if err := quick.Check(monotone, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatalf("bucketIndex not monotone: %v", err)
+	}
+	lowBound := func(v int64) bool {
+		if v < 0 {
+			v = -v
+		}
+		idx := bucketIndex(v)
+		return bucketLow(idx) <= v
+	}
+	if err := quick.Check(lowBound, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatalf("bucketLow exceeds member value: %v", err)
+	}
+}
+
+// Property: percentile is within 5% relative error for random exponential
+// samples (the shape of real latency distributions).
+func TestHistogramVsExactPercentiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	samples := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := rng.ExpFloat64() * 50e3 // ~50µs mean, in ns
+		if v < 1 {
+			v = 1
+		}
+		h.Record(time.Duration(v))
+		samples = append(samples, v)
+	}
+	sortFloats(samples)
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		idx := int(p/100*float64(len(samples))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		exact := samples[idx]
+		got := float64(h.Percentile(p))
+		if relErr := math.Abs(got-exact) / exact; relErr > 0.06 {
+			t.Fatalf("p%v: got=%.0f exact=%.0f relErr=%.3f", p, got, exact, relErr)
+		}
+	}
+}
+
+func sortFloats(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(10 * time.Millisecond)
+	s.Add(1 * time.Millisecond)
+	s.Add(9 * time.Millisecond)
+	s.Add(10 * time.Millisecond)
+	s.Add(35 * time.Millisecond)
+	s.Add(-1) // ignored
+	b := s.Buckets()
+	if len(b) != 4 || b[0] != 2 || b[1] != 1 || b[2] != 0 || b[3] != 1 {
+		t.Fatalf("buckets=%v", b)
+	}
+	if r := s.Rate(0); math.Abs(r-200) > 1e-9 {
+		t.Fatalf("rate=%v want 200/s", r)
+	}
+	if rs := s.Rates(); len(rs) != 4 || rs[2] != 0 {
+		t.Fatalf("rates=%v", rs)
+	}
+	if s.Rate(99) != 0 || s.Rate(-1) != 0 {
+		t.Fatal("out-of-range rate should be 0")
+	}
+	if s.BucketWidth() != 10*time.Millisecond {
+		t.Fatal("width wrong")
+	}
+}
+
+func TestSeriesPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive width")
+		}
+	}()
+	NewSeries(0)
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"write%", "hermes", "craq"}}
+	tb.AddRow(1, 770.0, 690.123)
+	tb.AddRow(100, 72.0, 55.5)
+	out := tb.String()
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	lines := splitLines(out)
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines got %d:\n%s", len(lines), out)
+	}
+	if lines[0][:6] != "write%" {
+		t.Fatalf("header line: %q", lines[0])
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatal("empty summary")
+	}
+	s = Summarize([]float64{3, 1, 2, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || math.Abs(s.Mean-3) > 1e-12 {
+		t.Fatalf("summary=%+v", s)
+	}
+	if math.Abs(s.Stdev-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("stdev=%v", s.Stdev)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		123.4:  "123",
+		12.345: "12.35",
+		0.1234: "0.1234",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Fatalf("formatFloat(%v)=%q want %q", in, got, want)
+		}
+	}
+}

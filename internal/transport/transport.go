@@ -1,0 +1,223 @@
+// Package transport provides the TCP mesh transport for real deployments
+// (cmd/hermes-node): every node listens on its address and maintains one
+// wings.Link per peer, with lazy dialing, reconnection, and the Hermes
+// credit discipline (ACKs repay INVs implicitly; VALs are paid back by
+// explicit credit updates — §4.2).
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/wings"
+)
+
+// Mesh is a TCP transport implementing cluster.Transport for one local
+// node.
+type Mesh struct {
+	self  proto.NodeID
+	addrs map[proto.NodeID]string
+	cfg   wings.LinkConfig
+
+	mu      sync.Mutex
+	links   map[proto.NodeID]*wings.Link
+	conns   map[net.Conn]struct{}
+	deliver func(from proto.NodeID, msg any)
+	ln      net.Listener
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// DefaultLinkConfig applies the paper's credit discipline.
+func DefaultLinkConfig() wings.LinkConfig {
+	return wings.LinkConfig{
+		Credits:       1024,
+		ExplicitEvery: 64,
+		IsResponse: func(m any) bool {
+			switch m.(type) {
+			case core.ACK, core.MCheckAck, core.ChunkResp:
+				return true
+			}
+			return false
+		},
+	}
+}
+
+// NewMesh starts a mesh node listening on addrs[self].
+func NewMesh(self proto.NodeID, addrs map[proto.NodeID]string) (*Mesh, error) {
+	ln, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, err
+	}
+	m := &Mesh{
+		self:  self,
+		addrs: addrs,
+		cfg:   DefaultLinkConfig(),
+		links: make(map[proto.NodeID]*wings.Link),
+		conns: make(map[net.Conn]struct{}),
+		ln:    ln,
+	}
+	m.wg.Add(1)
+	go m.accept()
+	return m, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (m *Mesh) Addr() string { return m.ln.Addr().String() }
+
+func (m *Mesh) accept() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.serveConn(conn)
+		}()
+	}
+}
+
+// track registers a connection for teardown on Close; returns false if the
+// mesh is already closed.
+func (m *Mesh) track(conn net.Conn) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.conns[conn] = struct{}{}
+	return true
+}
+
+func (m *Mesh) untrack(conn net.Conn) {
+	m.mu.Lock()
+	delete(m.conns, conn)
+	m.mu.Unlock()
+}
+
+// serveConn handles an inbound connection: the peer announces its ID in a
+// 1-byte hello, then wings frames flow.
+func (m *Mesh) serveConn(conn net.Conn) {
+	defer conn.Close()
+	if !m.track(conn) {
+		return
+	}
+	defer m.untrack(conn)
+	var hello [1]byte
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(hello[:]); err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	from := proto.NodeID(hello[0])
+	l := wings.NewLink(conn, m.cfg)
+	l.Serve(conn, func(msg any) {
+		m.mu.Lock()
+		fn := m.deliver
+		m.mu.Unlock()
+		if fn != nil {
+			fn(from, msg)
+		}
+	})
+}
+
+// link returns (dialing if needed) the outbound link to a peer.
+func (m *Mesh) link(to proto.NodeID) *wings.Link {
+	m.mu.Lock()
+	if l := m.links[to]; l != nil {
+		m.mu.Unlock()
+		return l
+	}
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", m.addrs[to], 2*time.Second)
+	if err != nil {
+		return nil // unreachable peer: message lost; protocol retransmits
+	}
+	if _, err := conn.Write([]byte{byte(m.self)}); err != nil {
+		conn.Close()
+		return nil
+	}
+	if !m.track(conn) {
+		conn.Close()
+		return nil
+	}
+	l := wings.NewLink(conn, m.cfg)
+	// Outbound connections also carry return traffic (credit frames).
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer conn.Close()
+		defer m.untrack(conn)
+		l.Serve(conn, func(msg any) {
+			m.mu.Lock()
+			fn := m.deliver
+			m.mu.Unlock()
+			if fn != nil {
+				fn(to, msg)
+			}
+		})
+		m.mu.Lock()
+		if m.links[to] == l {
+			delete(m.links, to) // reconnect lazily on next Send
+		}
+		m.mu.Unlock()
+	}()
+	m.mu.Lock()
+	if existing := m.links[to]; existing != nil {
+		m.mu.Unlock()
+		l.Close()
+		conn.Close()
+		return existing
+	}
+	m.links[to] = l
+	m.mu.Unlock()
+	return l
+}
+
+// Send implements cluster.Transport.
+func (m *Mesh) Send(from, to proto.NodeID, msg any) {
+	if l := m.link(to); l != nil {
+		l.Send(msg)
+	}
+}
+
+// SetDeliver implements cluster.Transport.
+func (m *Mesh) SetDeliver(id proto.NodeID, fn func(from proto.NodeID, msg any)) {
+	m.mu.Lock()
+	m.deliver = fn
+	m.mu.Unlock()
+}
+
+// Close implements cluster.Transport.
+func (m *Mesh) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	links := m.links
+	m.links = map[proto.NodeID]*wings.Link{}
+	conns := make([]net.Conn, 0, len(m.conns))
+	for c := range m.conns {
+		conns = append(conns, c)
+	}
+	m.conns = map[net.Conn]struct{}{}
+	m.mu.Unlock()
+	for _, l := range links {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close() // unblocks Serve readers
+	}
+	err := m.ln.Close()
+	m.wg.Wait()
+	return err
+}

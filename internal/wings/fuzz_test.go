@@ -1,0 +1,62 @@
+package wings
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// The decoder must never panic on arbitrary bytes — a malformed or
+// malicious frame yields an error, not a crash.
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		_, _ = DecodeOne(buf) // must not panic
+		for tp := uint8(0); tp < 12; tp++ {
+			_, _ = decodeMsg(tp, buf)
+		}
+	}
+}
+
+// Bit-flip corruption of valid frames must never panic either.
+func TestDecodeSurvivesBitFlips(t *testing.T) {
+	frames := validFrames(t)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		f := append([]byte(nil), frames[i%len(frames)]...)
+		f[rng.Intn(len(f))] ^= 1 << uint(rng.Intn(8))
+		_, _ = DecodeOne(f)
+	}
+}
+
+// Serve must reject oversized or undersized frame headers rather than
+// allocating absurd buffers.
+func TestServeFrameLengthBounds(t *testing.T) {
+	l := NewLink(bytes.NewBuffer(nil), LinkConfig{})
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1) // below the 2-byte count minimum
+	if err := l.Serve(bytes.NewReader(hdr[:]), func(any) {}); err == nil {
+		t.Fatal("undersized frame accepted")
+	}
+	binary.LittleEndian.PutUint32(hdr[:], maxFrame+1)
+	if err := l.Serve(bytes.NewReader(hdr[:]), func(any) {}); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func validFrames(t *testing.T) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for _, m := range sampleMessages() {
+		f, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,510 @@
+// Package wings is the RPC layer of HermesKV (paper §4.2), re-targeted from
+// RDMA UD sends to any byte stream (net.Conn, net.Pipe): it provides
+//
+//   - compact hand-rolled binary codecs for every Hermes message,
+//   - opportunistic batching: messages accumulate while a send is in flight
+//     and ship as one framed batch — never stalling to fill a batch,
+//   - credit-based flow control with implicit credits (responses) and
+//     explicit credit-update frames for one-way traffic like VALs,
+//   - a broadcast primitive implemented as unicasts to a peer group.
+//
+// PCIe-level RDMA tricks (doorbell batching, inlining, header-only credit
+// packets) have no software-visible protocol effect and are represented by
+// their closest stream analogue: one syscall per batch and a 1-byte credit
+// frame.
+package wings
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// Frame layout:
+//
+//	[4B total length][2B message count] then per message:
+//	[1B type][4B length][payload]
+//
+// A credit-update frame is a regular frame whose single message has type
+// tCredit and a 2-byte grant payload.
+
+const (
+	tINV uint8 = iota + 1
+	tACK
+	tVAL
+	tMCheck
+	tMCheckAck
+	tChunkReq
+	tChunkResp
+	tCredit
+)
+
+// maxFrame bounds a frame's size (defense against corrupt streams).
+const maxFrame = 16 << 20
+
+// ErrUnknownType reports an unregistered message type on the wire.
+var ErrUnknownType = errors.New("wings: unknown message type")
+
+// appendMsg encodes one protocol message.
+func appendMsg(buf []byte, msg any) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0) // type + length placeholder
+	var t uint8
+	switch m := msg.(type) {
+	case core.INV:
+		t = tINV
+		buf = appendEpochKeyTS(buf, m.Epoch, m.Key, m.TS)
+		buf = appendBool(buf, m.RMW)
+		buf = appendBytes(buf, m.Value)
+	case core.ACK:
+		t = tACK
+		buf = appendEpochKeyTS(buf, m.Epoch, m.Key, m.TS)
+	case core.VAL:
+		t = tVAL
+		buf = appendEpochKeyTS(buf, m.Epoch, m.Key, m.TS)
+	case core.MCheck:
+		t = tMCheck
+		buf = binary.LittleEndian.AppendUint32(buf, m.Epoch)
+		buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+	case core.MCheckAck:
+		t = tMCheckAck
+		buf = binary.LittleEndian.AppendUint32(buf, m.Epoch)
+		buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+	case core.ChunkReq:
+		t = tChunkReq
+		buf = binary.LittleEndian.AppendUint32(buf, m.Epoch)
+		buf = binary.LittleEndian.AppendUint64(buf, m.Cursor)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.MaxKeys))
+	case core.ChunkResp:
+		t = tChunkResp
+		buf = binary.LittleEndian.AppendUint32(buf, m.Epoch)
+		buf = binary.LittleEndian.AppendUint64(buf, m.Cursor)
+		buf = appendBool(buf, m.Done)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Keys)))
+		for i, k := range m.Keys {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+			r := m.Recs[i]
+			buf = binary.LittleEndian.AppendUint32(buf, r.TS.Version)
+			buf = binary.LittleEndian.AppendUint16(buf, r.TS.CID)
+			buf = appendBool(buf, r.RMW)
+			buf = appendBool(buf, r.Invalid)
+			buf = appendBytes(buf, r.Value)
+		}
+	default:
+		return nil, fmt.Errorf("wings: cannot encode %T", msg)
+	}
+	buf[start] = t
+	binary.LittleEndian.PutUint32(buf[start+1:], uint32(len(buf)-start-5))
+	return buf, nil
+}
+
+func appendEpochKeyTS(buf []byte, epoch uint32, key proto.Key, ts proto.TS) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(key))
+	buf = binary.LittleEndian.AppendUint32(buf, ts.Version)
+	buf = binary.LittleEndian.AppendUint16(buf, ts.CID)
+	return buf
+}
+
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) boolv() bool {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return false
+	}
+	v := r.b[r.off] != 0
+	r.off++
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || r.off+n > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:])
+	r.off += n
+	if n == 0 {
+		return nil
+	}
+	return out
+}
+
+func (r *reader) ts() proto.TS { return proto.TS{Version: r.u32(), CID: r.u16()} }
+
+// decodeMsg decodes one message body of the given type.
+func decodeMsg(t uint8, body []byte) (any, error) {
+	r := &reader{b: body}
+	var msg any
+	switch t {
+	case tINV:
+		m := core.INV{Epoch: r.u32(), Key: proto.Key(r.u64()), TS: r.ts()}
+		m.RMW = r.boolv()
+		m.Value = r.bytes()
+		msg = m
+	case tACK:
+		msg = core.ACK{Epoch: r.u32(), Key: proto.Key(r.u64()), TS: r.ts()}
+	case tVAL:
+		msg = core.VAL{Epoch: r.u32(), Key: proto.Key(r.u64()), TS: r.ts()}
+	case tMCheck:
+		msg = core.MCheck{Epoch: r.u32(), Seq: r.u64()}
+	case tMCheckAck:
+		msg = core.MCheckAck{Epoch: r.u32(), Seq: r.u64()}
+	case tChunkReq:
+		msg = core.ChunkReq{Epoch: r.u32(), Cursor: r.u64(), MaxKeys: int(r.u32())}
+	case tChunkResp:
+		m := core.ChunkResp{Epoch: r.u32(), Cursor: r.u64(), Done: r.boolv()}
+		n := int(r.u32())
+		for i := 0; i < n && r.err == nil; i++ {
+			m.Keys = append(m.Keys, proto.Key(r.u64()))
+			rec := core.ChunkRec{TS: r.ts()}
+			rec.RMW = r.boolv()
+			rec.Invalid = r.boolv()
+			rec.Value = r.bytes()
+			m.Recs = append(m.Recs, rec)
+		}
+		msg = m
+	default:
+		return nil, ErrUnknownType
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return msg, nil
+}
+
+// Stats counts link-level events.
+type Stats struct {
+	FramesSent, MsgsSent     uint64
+	FramesRecv, MsgsRecv     uint64
+	BatchedMsgs              uint64 // messages that shipped with company
+	CreditStalls             uint64 // sends that waited for credits
+	ExplicitCreditsSent      uint64
+	ImplicitCreditsRecovered uint64
+}
+
+// LinkConfig tunes one peer link.
+type LinkConfig struct {
+	// Credits is the send window (receiver buffer slots). 0 disables flow
+	// control.
+	Credits int
+	// ExplicitEvery makes the receiver grant an explicit credit update
+	// after that many received messages (for one-way traffic). 0 disables.
+	ExplicitEvery int
+	// IsResponse marks message types that implicitly return one credit to
+	// the peer that sent the request (e.g. an ACK repays an INV). Responses
+	// do not consume send credits themselves: the requester reserved their
+	// buffer space when it spent a credit on the request.
+	IsResponse func(msg any) bool
+}
+
+// Link is one flow-controlled, batching connection to a peer.
+type Link struct {
+	cfg LinkConfig
+
+	mu       sync.Mutex
+	sendCond *sync.Cond
+	pending  []byte // encoded, unsent messages
+	nPending int
+	credits  int
+	closed   bool
+	w        *bufio.Writer
+	flushing bool
+
+	recvSinceCredit int
+	stats           Stats
+	statsMu         sync.Mutex
+}
+
+// NewLink wraps one side of a stream. Call Serve with the read side to pump
+// incoming messages.
+func NewLink(w io.Writer, cfg LinkConfig) *Link {
+	l := &Link{cfg: cfg, w: bufio.NewWriterSize(w, 64<<10), credits: cfg.Credits}
+	l.sendCond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Send encodes msg and queues it; it ships in the next batch. Blocks only
+// when flow-control credits are exhausted.
+func (l *Link) Send(msg any) error {
+	l.mu.Lock()
+	if l.cfg.Credits > 0 && !(l.cfg.IsResponse != nil && l.cfg.IsResponse(msg)) {
+		stalled := false
+		for l.credits <= 0 && !l.closed {
+			stalled = true
+			l.sendCond.Wait()
+		}
+		if stalled {
+			l.bumpStat(func(s *Stats) { s.CreditStalls++ })
+		}
+		l.credits--
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return errors.New("wings: link closed")
+	}
+	var err error
+	l.pending, err = appendMsg(l.pending, msg)
+	if err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.nPending++
+	l.kickLocked()
+	l.mu.Unlock()
+	return nil
+}
+
+// kickLocked starts the flusher if idle. Batching is opportunistic: while a
+// flush is in flight, further Sends pile into pending and ship together.
+func (l *Link) kickLocked() {
+	if l.flushing || l.nPending == 0 {
+		return
+	}
+	l.flushing = true
+	go l.flushLoop()
+}
+
+func (l *Link) flushLoop() {
+	for {
+		l.mu.Lock()
+		if l.nPending == 0 || l.closed {
+			l.flushing = false
+			l.mu.Unlock()
+			return
+		}
+		body := l.pending
+		count := l.nPending
+		l.pending = nil
+		l.nPending = 0
+		l.mu.Unlock()
+
+		var hdr [6]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)+2))
+		binary.LittleEndian.PutUint16(hdr[4:], uint16(count))
+		l.mu.Lock()
+		_, err1 := l.w.Write(hdr[:])
+		_, err2 := l.w.Write(body)
+		err3 := l.w.Flush()
+		l.mu.Unlock()
+		l.bumpStat(func(s *Stats) {
+			s.FramesSent++
+			s.MsgsSent += uint64(count)
+			if count > 1 {
+				s.BatchedMsgs += uint64(count)
+			}
+		})
+		if err1 != nil || err2 != nil || err3 != nil {
+			l.Close()
+			return
+		}
+	}
+}
+
+// sendCreditFrame grants n credits to the peer.
+func (l *Link) sendCreditFrame(n int) {
+	var frame [13]byte
+	binary.LittleEndian.PutUint32(frame[:], 9) // count(2) + type(1) + len(4) + grant(2)
+	binary.LittleEndian.PutUint16(frame[4:], 1)
+	frame[6] = tCredit
+	binary.LittleEndian.PutUint32(frame[7:], 2)
+	binary.LittleEndian.PutUint16(frame[11:], uint16(n))
+	l.mu.Lock()
+	l.w.Write(frame[:])
+	l.w.Flush()
+	l.mu.Unlock()
+	l.bumpStat(func(s *Stats) { s.ExplicitCreditsSent++ })
+}
+
+// Serve reads frames from rd and dispatches messages to fn until error/EOF.
+func (l *Link) Serve(rd io.Reader, fn func(msg any)) error {
+	br := bufio.NewReaderSize(rd, 64<<10)
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return err
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n < 2 || n > maxFrame {
+			return fmt.Errorf("wings: bad frame length %d", n)
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return err
+		}
+		count := int(binary.LittleEndian.Uint16(frame[:2]))
+		off := 2
+		l.bumpStat(func(s *Stats) { s.FramesRecv++ })
+		for i := 0; i < count; i++ {
+			if off+5 > len(frame) {
+				return io.ErrUnexpectedEOF
+			}
+			t := frame[off]
+			bodyLen := int(binary.LittleEndian.Uint32(frame[off+1:]))
+			off += 5
+			if off+bodyLen > len(frame) {
+				return io.ErrUnexpectedEOF
+			}
+			body := frame[off : off+bodyLen]
+			off += bodyLen
+			if t == tCredit {
+				grant := int(binary.LittleEndian.Uint16(body))
+				l.addCredits(grant)
+				continue
+			}
+			msg, err := decodeMsg(t, body)
+			if err != nil {
+				return err
+			}
+			l.bumpStat(func(s *Stats) { s.MsgsRecv++ })
+			l.onReceive(msg)
+			fn(msg)
+		}
+	}
+}
+
+// onReceive applies flow-control accounting for an incoming message.
+func (l *Link) onReceive(msg any) {
+	if l.cfg.IsResponse != nil && l.cfg.IsResponse(msg) {
+		l.addCredits(1)
+		l.bumpStat(func(s *Stats) { s.ImplicitCreditsRecovered++ })
+	}
+	if l.cfg.ExplicitEvery > 0 {
+		l.mu.Lock()
+		l.recvSinceCredit++
+		send := l.recvSinceCredit >= l.cfg.ExplicitEvery
+		if send {
+			l.recvSinceCredit = 0
+		}
+		l.mu.Unlock()
+		if send {
+			go l.sendCreditFrame(l.cfg.ExplicitEvery)
+		}
+	}
+}
+
+func (l *Link) addCredits(n int) {
+	if l.cfg.Credits == 0 {
+		return
+	}
+	l.mu.Lock()
+	l.credits += n
+	if l.credits > l.cfg.Credits {
+		l.credits = l.cfg.Credits
+	}
+	l.mu.Unlock()
+	l.sendCond.Broadcast()
+}
+
+// Close shuts the link; blocked senders return.
+func (l *Link) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.sendCond.Broadcast()
+}
+
+// Stats snapshots link counters.
+func (l *Link) Stats() Stats {
+	l.statsMu.Lock()
+	defer l.statsMu.Unlock()
+	return l.stats
+}
+
+func (l *Link) bumpStat(fn func(*Stats)) {
+	l.statsMu.Lock()
+	fn(&l.stats)
+	l.statsMu.Unlock()
+}
+
+// Broadcast sends msg on every link; unicast fan-out, as Wings implements
+// software broadcast over UD sends.
+func Broadcast(links []*Link, msg any) error {
+	for _, l := range links {
+		if err := l.Send(msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Encode serializes a single message into a standalone frame (tests, and
+// the text protocol of cmd/hermes-node uses it for loopback checks).
+func Encode(msg any) ([]byte, error) {
+	body, err := appendMsg(nil, msg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 6, 6+len(body))
+	binary.LittleEndian.PutUint32(out, uint32(len(body)+2))
+	binary.LittleEndian.PutUint16(out[4:], 1)
+	return append(out, body...), nil
+}
+
+// DecodeOne parses a single-message frame produced by Encode.
+func DecodeOne(frame []byte) (any, error) {
+	if len(frame) < 11 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	t := frame[6]
+	n := int(binary.LittleEndian.Uint32(frame[7:]))
+	if 11+n > len(frame) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return decodeMsg(t, frame[11:11+n])
+}

@@ -1,0 +1,186 @@
+// Package workload generates the access patterns of the paper's evaluation
+// (§5.2, §6): a keyspace of one million keys accessed either uniformly or
+// under a Zipfian distribution with exponent 0.99 (as in YCSB), mixed
+// read/write traffic at a configurable write ratio, and configurable object
+// sizes (32 B default, up to 1 KB for the Derecho comparison).
+package workload
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+
+	"repro/internal/proto"
+)
+
+// KeyChooser selects the next key to access.
+type KeyChooser interface {
+	Next(rng *rand.Rand) proto.Key
+}
+
+// Uniform chooses keys uniformly from [0, N).
+type Uniform struct{ N uint64 }
+
+// Next implements KeyChooser.
+func (u Uniform) Next(rng *rand.Rand) proto.Key {
+	return proto.Key(rng.Uint64() % u.N)
+}
+
+// Zipfian chooses keys under a power-law distribution using the Gray et al.
+// rejection-free method popularized by YCSB. Rank 0 is the most popular key;
+// ranks are scattered over the keyspace with a multiplicative hash so that
+// popular keys do not cluster in one hash-table region.
+type Zipfian struct {
+	n       uint64
+	theta   float64
+	zetaN   float64
+	zeta2   float64
+	alpha   float64
+	eta     float64
+	scatter bool
+}
+
+// NewZipfian returns a Zipfian chooser over n keys with the given exponent
+// (the paper and YCSB use 0.99). Scatter controls whether ranks are hashed
+// over the keyspace (true for realistic traffic) or identity-mapped (useful
+// in tests that want rank==key).
+func NewZipfian(n uint64, theta float64, scatter bool) *Zipfian {
+	if n == 0 {
+		panic("workload: zipfian over empty keyspace")
+	}
+	z := &Zipfian{n: n, theta: theta, scatter: scatter}
+	z.zetaN = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetaN)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	var s float64
+	for i := uint64(1); i <= n; i++ {
+		s += 1 / math.Pow(float64(i), theta)
+	}
+	return s
+}
+
+// Rank returns the next zipf rank in [0, n) — 0 the hottest.
+func (z *Zipfian) Rank(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetaN
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	r := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}
+
+// Next implements KeyChooser.
+func (z *Zipfian) Next(rng *rand.Rand) proto.Key {
+	r := z.Rank(rng)
+	if !z.scatter {
+		return proto.Key(r)
+	}
+	return proto.Key(splitmix64(r) % z.n)
+}
+
+// splitmix64 is a strong 64-bit mixing function (Vigna); bijective, so
+// scattering never collides two ranks onto one key.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Config describes a benchmark workload.
+type Config struct {
+	Keys       uint64  // keyspace size (paper: 1M)
+	WriteRatio float64 // fraction of update ops in [0,1]
+	RMWRatio   float64 // fraction of updates issued as RMWs (0 for Fig 5-9)
+	ValueSize  int     // object size in bytes (paper default 32)
+	Zipf       bool    // zipfian vs uniform
+	ZipfTheta  float64 // exponent (0.99 when Zipf)
+}
+
+// DefaultConfig mirrors the paper's testbed defaults (§5.2).
+func DefaultConfig() Config {
+	return Config{Keys: 1 << 20, WriteRatio: 0.05, ValueSize: 32, ZipfTheta: 0.99}
+}
+
+// Generator produces a stream of client operations for one session. Each
+// session owns its Generator (and RNG) so sessions are independent and runs
+// are reproducible from seeds.
+type Generator struct {
+	cfg    Config
+	rng    *rand.Rand
+	keys   KeyChooser
+	nextID uint64
+	valBuf []byte
+}
+
+// NewGenerator builds a Generator with the given seed.
+func NewGenerator(cfg Config, seed int64) *Generator {
+	if cfg.Keys == 0 {
+		cfg.Keys = 1 << 20
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 32
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	if cfg.Zipf {
+		theta := cfg.ZipfTheta
+		if theta == 0 {
+			theta = 0.99
+		}
+		g.keys = NewZipfian(cfg.Keys, theta, true)
+	} else {
+		g.keys = Uniform{N: cfg.Keys}
+	}
+	g.valBuf = make([]byte, cfg.ValueSize)
+	return g
+}
+
+// Next returns the next operation. Values are freshly allocated and tagged
+// with a session-unique sequence in the first 8 bytes, which the
+// linearizability checker uses to identify writes uniquely.
+func (g *Generator) Next() proto.ClientOp {
+	g.nextID++
+	op := proto.ClientOp{ID: g.nextID, Key: g.keys.Next(g.rng)}
+	if g.rng.Float64() >= g.cfg.WriteRatio {
+		op.Kind = proto.OpRead
+		return op
+	}
+	if g.cfg.RMWRatio > 0 && g.rng.Float64() < g.cfg.RMWRatio {
+		op.Kind = proto.OpFAA
+		op.Value = FAADelta(1)
+		return op
+	}
+	op.Kind = proto.OpWrite
+	op.Value = g.value()
+	return op
+}
+
+func (g *Generator) value() proto.Value {
+	v := make(proto.Value, g.cfg.ValueSize)
+	if len(v) >= 8 {
+		binary.LittleEndian.PutUint64(v, g.rng.Uint64())
+	}
+	return v
+}
+
+// FAADelta encodes an int64 delta for OpFAA operations.
+func FAADelta(d int64) proto.Value { return proto.EncodeInt64(d) }
+
+// DecodeInt64 decodes an 8-byte little-endian integer value. It forwards to
+// proto.DecodeInt64 and is kept for workload-local readability.
+func DecodeInt64(v proto.Value) int64 { return proto.DecodeInt64(v) }
+
+// EncodeInt64 encodes an int64 as an 8-byte value (see proto.EncodeInt64).
+func EncodeInt64(x int64) proto.Value { return proto.EncodeInt64(x) }

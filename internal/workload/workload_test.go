@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+func TestUniformCoversKeyspace(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := Uniform{N: 16}
+	seen := make(map[proto.Key]bool)
+	for i := 0; i < 4096; i++ {
+		k := u.Next(rng)
+		if uint64(k) >= 16 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("only %d/16 keys seen", len(seen))
+	}
+}
+
+func TestZipfianRankDistribution(t *testing.T) {
+	// With theta=0.99 over 1000 keys, rank 0 must receive ~1/zeta(1000)
+	// of the mass (~12.8%), and the top-10 ranks a large share.
+	const n = 1000
+	z := NewZipfian(n, 0.99, false)
+	rng := rand.New(rand.NewSource(42))
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Rank(rng)]++
+	}
+	p0 := float64(counts[0]) / draws
+	want := 1 / zeta(n, 0.99)
+	if math.Abs(p0-want)/want > 0.1 {
+		t.Fatalf("rank0 mass=%.4f want~%.4f", p0, want)
+	}
+	// Monotone-ish: rank0 > rank10 > rank100.
+	if !(counts[0] > counts[10] && counts[10] > counts[100]) {
+		t.Fatalf("not decreasing: c0=%d c10=%d c100=%d", counts[0], counts[10], counts[100])
+	}
+	top10 := 0
+	for i := 0; i < 10; i++ {
+		top10 += counts[i]
+	}
+	if share := float64(top10) / draws; share < 0.3 {
+		t.Fatalf("top-10 share=%.3f want >0.3 (skew lost)", share)
+	}
+}
+
+func TestZipfianRanksInRange(t *testing.T) {
+	z := NewZipfian(37, 0.99, false)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		if r := z.Rank(rng); r >= 37 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+}
+
+func TestZipfianScatterIsInjective(t *testing.T) {
+	// Scattering must not map two hot ranks onto the same key for small n
+	// samples (splitmix64 is bijective; modulo can collide, but for the top
+	// ranks of a big keyspace collisions would distort the skew badly, so we
+	// verify none among top 1000 on the 1M default).
+	const n = 1 << 20
+	seen := make(map[uint64]uint64)
+	for r := uint64(0); r < 1000; r++ {
+		k := splitmix64(r) % n
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("ranks %d and %d collide on key %d", prev, r, k)
+		}
+		seen[k] = r
+	}
+}
+
+func TestZipfianPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewZipfian(0, 0.99, false)
+}
+
+func TestGeneratorWriteRatio(t *testing.T) {
+	for _, ratio := range []float64{0, 0.05, 0.5, 1} {
+		g := NewGenerator(Config{Keys: 100, WriteRatio: ratio, ValueSize: 32}, 9)
+		writes := 0
+		const total = 20000
+		for i := 0; i < total; i++ {
+			op := g.Next()
+			if op.Kind.IsUpdate() {
+				writes++
+				if len(op.Value) != 32 {
+					t.Fatalf("value size %d", len(op.Value))
+				}
+			} else if op.Value != nil {
+				t.Fatal("read carries a value")
+			}
+		}
+		got := float64(writes) / total
+		if math.Abs(got-ratio) > 0.01 {
+			t.Fatalf("ratio %.2f: measured %.3f", ratio, got)
+		}
+	}
+}
+
+func TestGeneratorRMWMix(t *testing.T) {
+	g := NewGenerator(Config{Keys: 100, WriteRatio: 1, RMWRatio: 0.5}, 11)
+	rmws := 0
+	const total = 10000
+	for i := 0; i < total; i++ {
+		op := g.Next()
+		if !op.Kind.IsUpdate() {
+			t.Fatal("write-only workload emitted a read")
+		}
+		if op.Kind.IsRMW() {
+			rmws++
+			if DecodeInt64(op.Value) != 1 {
+				t.Fatal("FAA delta wrong")
+			}
+		}
+	}
+	if frac := float64(rmws) / total; math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("rmw fraction=%.3f", frac)
+	}
+}
+
+func TestGeneratorIDsAreUniqueAndMonotone(t *testing.T) {
+	g := NewGenerator(DefaultConfig(), 1)
+	var last uint64
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.ID <= last {
+			t.Fatalf("op id %d not monotone after %d", op.ID, last)
+		}
+		last = op.ID
+	}
+}
+
+func TestGeneratorDeterministicFromSeed(t *testing.T) {
+	a := NewGenerator(DefaultConfig(), 77)
+	b := NewGenerator(DefaultConfig(), 77)
+	for i := 0; i < 1000; i++ {
+		x, y := a.Next(), b.Next()
+		if x.Key != y.Key || x.Kind != y.Kind {
+			t.Fatalf("divergence at %d: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func TestGeneratorDefaultsApplied(t *testing.T) {
+	g := NewGenerator(Config{WriteRatio: 1}, 5)
+	op := g.Next()
+	if len(op.Value) != 32 {
+		t.Fatalf("default value size not applied: %d", len(op.Value))
+	}
+	if uint64(op.Key) >= 1<<20 {
+		t.Fatalf("default keyspace not applied: %d", op.Key)
+	}
+}
+
+func TestZipfDefaultTheta(t *testing.T) {
+	g := NewGenerator(Config{Keys: 1000, Zipf: true}, 5)
+	z, ok := g.keys.(*Zipfian)
+	if !ok {
+		t.Fatal("zipf config did not select Zipfian chooser")
+	}
+	if z.theta != 0.99 {
+		t.Fatalf("theta=%v want 0.99 default", z.theta)
+	}
+}
+
+func TestInt64Roundtrip(t *testing.T) {
+	for _, x := range []int64{0, 1, -1, 1 << 40, -(1 << 40)} {
+		if got := DecodeInt64(EncodeInt64(x)); got != x {
+			t.Fatalf("roundtrip %d -> %d", x, got)
+		}
+	}
+	if DecodeInt64(nil) != 0 || DecodeInt64(proto.Value{1, 2}) != 0 {
+		t.Fatal("short values must decode as 0")
+	}
+}

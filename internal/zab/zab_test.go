@@ -1,0 +1,313 @@
+package zab
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/prototest"
+)
+
+func build(t *testing.T, n int) *prototest.Harness {
+	return prototest.Build(t, n, func(id proto.NodeID, view proto.View, env proto.Env) proto.Replica {
+		return New(Config{ID: id, View: view, Env: env, MLT: 10 * time.Millisecond})
+	})
+}
+
+func rep(h *prototest.Harness, id proto.NodeID) *Replica {
+	return h.Nodes[id].(*Replica)
+}
+
+func TestLeaderIsLowestMember(t *testing.T) {
+	h := build(t, 3)
+	for id := proto.NodeID(0); id < 3; id++ {
+		if got := rep(h, id).Leader(); got != 0 {
+			t.Fatalf("node %d thinks leader is %d", id, got)
+		}
+	}
+}
+
+func TestWriteAtLeaderCommitsOnMajority(t *testing.T) {
+	h := build(t, 3)
+	op := h.Write(0, 1, "v")
+	// Proposal to both followers in flight.
+	if len(h.Msgs) != 2 {
+		t.Fatalf("%d messages, want 2 proposals", len(h.Msgs))
+	}
+	h.Step() // propose -> node 1
+	h.Step() // propose -> node 2
+	h.Step() // first ack -> leader: majority (leader+1) reached, commit
+	if !h.HasCompletion(0, op) {
+		t.Fatal("not committed on majority")
+	}
+	h.Run()
+	for id := proto.NodeID(0); id < 3; id++ {
+		if v := rep(h, id).Value(1); string(v) != "v" {
+			t.Fatalf("node %d applied %q", id, v)
+		}
+	}
+}
+
+func TestWriteAtFollowerForwardsToLeader(t *testing.T) {
+	h := build(t, 3)
+	op := h.Write(2, 1, "v")
+	h.Run()
+	if c := h.Completion(2, op); c.Status != proto.OK {
+		t.Fatalf("%+v", c)
+	}
+	if rep(h, 2).Metrics().Forwards != 1 {
+		t.Fatal("no forward")
+	}
+	if rep(h, 0).Metrics().Proposals != 1 {
+		t.Fatal("leader did not propose")
+	}
+}
+
+func TestWritesTotallyOrderedAcrossKeys(t *testing.T) {
+	// ZAB's defining cost: updates to *different* keys still serialize
+	// through the leader's single log.
+	h := build(t, 3)
+	for k := proto.Key(0); k < 6; k++ {
+		h.Write(proto.NodeID(k%3), k, "v")
+	}
+	h.Run()
+	lead := rep(h, 0)
+	if lead.LastApplied().Counter != 6 {
+		t.Fatalf("leader applied %d entries, want 6 in one log", lead.LastApplied().Counter)
+	}
+	for id := proto.NodeID(0); id < 3; id++ {
+		for k := proto.Key(0); k < 6; k++ {
+			if string(rep(h, id).Value(k)) != "v" {
+				t.Fatalf("node %d key %d missing", id, k)
+			}
+		}
+	}
+}
+
+func TestLocalReadsAreSequentiallyConsistent(t *testing.T) {
+	h := build(t, 3)
+	wop := h.Write(2, 1, "mine")
+	h.Run()
+	if c := h.Completion(2, wop); c.Status != proto.OK {
+		t.Fatalf("%+v", c)
+	}
+	// The session's node has applied its own write (completion implies
+	// application), so its local read observes it.
+	rop := h.Read(2, 1)
+	if c := h.Completion(2, rop); string(c.Value) != "mine" {
+		t.Fatalf("read-your-writes violated: %q", c.Value)
+	}
+	// Reads never generate traffic.
+	before := len(h.Msgs)
+	h.Read(1, 1)
+	if len(h.Msgs) != before {
+		t.Fatal("local read sent messages")
+	}
+}
+
+func TestCommitAppliesInZxidOrderDespiteReordering(t *testing.T) {
+	h := build(t, 3)
+	h.Write(0, 1, "a")
+	h.Write(0, 1, "b")
+	h.Write(0, 2, "c")
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		h.RunShuffled(rng)
+		h.Advance(11 * time.Millisecond)
+	}
+	h.Run()
+	for id := proto.NodeID(0); id < 3; id++ {
+		r := rep(h, id)
+		if string(r.Value(1)) != "b" || string(r.Value(2)) != "c" {
+			t.Fatalf("node %d: key1=%q key2=%q", id, r.Value(1), r.Value(2))
+		}
+	}
+}
+
+func TestFAASerializedAtLeader(t *testing.T) {
+	h := build(t, 3)
+	a := h.FAA(1, 1, 3)
+	b := h.FAA(2, 1, 4)
+	h.Run()
+	olds := []int64{
+		proto.DecodeInt64(h.Completion(1, a).Value),
+		proto.DecodeInt64(h.Completion(2, b).Value),
+	}
+	// One saw 0, the other saw the first delta.
+	if !(olds[0] == 0 && olds[1] == 3 || olds[0] == 4 && olds[1] == 0) {
+		t.Fatalf("FAA old values %v", olds)
+	}
+	if v := proto.DecodeInt64(rep(h, 0).Value(1)); v != 7 {
+		t.Fatalf("counter=%d", v)
+	}
+}
+
+func TestCASFailureReply(t *testing.T) {
+	h := build(t, 3)
+	h.Write(0, 1, "actual")
+	h.Run()
+	op := h.CAS(2, 1, "wrong", "x")
+	h.Run()
+	c := h.Completion(2, op)
+	if c.Status != proto.CASFailed || string(c.Value) != "actual" {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestLostProposalRetransmitted(t *testing.T) {
+	h := build(t, 3)
+	op := h.Write(0, 1, "v")
+	h.DropWhere(func(e prototest.Envelope) bool { _, is := e.Msg.(Propose); return is })
+	h.Run()
+	if h.HasCompletion(0, op) {
+		t.Fatal("committed without follower acks")
+	}
+	h.Advance(15 * time.Millisecond)
+	h.Run()
+	if c := h.Completion(0, op); c.Status != proto.OK {
+		t.Fatalf("%+v", c)
+	}
+	for id := proto.NodeID(1); id < 3; id++ {
+		if string(rep(h, id).Value(1)) != "v" {
+			t.Fatalf("node %d missing value after retransmit", id)
+		}
+	}
+}
+
+func TestLostForwardRetransmitted(t *testing.T) {
+	h := build(t, 3)
+	op := h.Write(1, 1, "v")
+	h.DropWhere(func(e prototest.Envelope) bool { _, is := e.Msg.(Forward); return is })
+	h.Run()
+	h.Advance(15 * time.Millisecond)
+	h.Run()
+	if c := h.Completion(1, op); c.Status != proto.OK {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestDuplicateForwardProposedOnce(t *testing.T) {
+	h := build(t, 3)
+	h.Write(1, 1, "v")
+	h.DuplicateAll()
+	h.Run()
+	h.Advance(15 * time.Millisecond)
+	h.Run()
+	if got := rep(h, 0).Metrics().Proposals; got != 1 {
+		t.Fatalf("%d proposals for one op", got)
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	h := build(t, 3)
+	h.Write(0, 1, "committed")
+	h.Run()
+	// A write forwarded to the leader, proposed, but the leader dies before
+	// commit.
+	op := h.Write(1, 2, "pending")
+	h.Step() // Forward reaches leader
+	h.Step() // Propose reaches node 1 (buffered there)
+	h.Crash(0)
+	h.Run()
+	h.RemoveFromView(0) // new leader: node 1
+	h.Run()
+	for id := proto.NodeID(1); id < 3; id++ {
+		if got := rep(h, id).Leader(); got != 1 {
+			t.Fatalf("node %d leader=%d", id, got)
+		}
+	}
+	// The new leader re-proposes the uncommitted entry from its buffer; the
+	// origin's op completes.
+	h.Advance(15 * time.Millisecond)
+	h.Run()
+	h.Advance(15 * time.Millisecond)
+	h.Run()
+	if c := h.Completion(1, op); c.Status != proto.OK {
+		t.Fatalf("pending write lost in failover: %+v", c)
+	}
+	if string(rep(h, 2).Value(2)) != "pending" {
+		t.Fatal("follower missing recovered write")
+	}
+	if string(rep(h, 2).Value(1)) != "committed" {
+		t.Fatal("failover lost committed data")
+	}
+}
+
+func TestFollowerFailure(t *testing.T) {
+	h := build(t, 5)
+	h.Crash(4)
+	op := h.Write(0, 1, "v")
+	h.Run()
+	// Majority (3/5) still reachable: commits without node 4.
+	if c := h.Completion(0, op); c.Status != proto.OK {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestShuffledStressConverges(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := build(t, 3)
+		var ops []uint64
+		for i := 0; i < 10; i++ {
+			id := proto.NodeID(rng.Intn(3))
+			ops = append(ops, h.Write(id, proto.Key(rng.Intn(3)), string(rune('a'+i))))
+			if rng.Intn(2) == 0 {
+				h.RunShuffled(rng)
+			}
+		}
+		for round := 0; round < 30; round++ {
+			h.DropWhere(func(prototest.Envelope) bool { return rng.Float64() < 0.1 })
+			h.RunShuffled(rng)
+			h.Advance(11 * time.Millisecond)
+		}
+		h.Run()
+		for i, op := range ops {
+			done := false
+			for id := range h.Nodes {
+				if h.HasCompletion(id, op) {
+					done = true
+				}
+			}
+			if !done {
+				t.Fatalf("seed %d: op %d lost", seed, i)
+			}
+		}
+		// All replicas converge on the leader's state.
+		lead := rep(h, 0)
+		for id := proto.NodeID(1); id < 3; id++ {
+			for k := proto.Key(0); k < 3; k++ {
+				if string(rep(h, id).Value(k)) != string(lead.Value(k)) {
+					t.Fatalf("seed %d: divergence at node %d key %d", seed, id, k)
+				}
+			}
+		}
+	}
+}
+
+func TestNonOperationalRejects(t *testing.T) {
+	h := build(t, 3)
+	rep(h, 2).SetOperational(false)
+	op := h.Write(2, 1, "x")
+	if c := h.Completion(2, op); c.Status != proto.NotOperational {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestZxidOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Zxid
+		less bool
+	}{
+		{Zxid{1, 5}, Zxid{2, 1}, true},
+		{Zxid{2, 1}, Zxid{1, 5}, false},
+		{Zxid{1, 1}, Zxid{1, 2}, true},
+		{Zxid{1, 2}, Zxid{1, 2}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Fatalf("%v.Less(%v)=%v", c.a, c.b, got)
+		}
+	}
+}
