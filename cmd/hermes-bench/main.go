@@ -7,7 +7,7 @@
 //	hermes-bench -exp fig5a          # one experiment
 //	hermes-bench -exp fig9 -quick    # reduced scale
 //
-// Experiments: fig5a fig5b fig6a fig6b fig6c fig7 fig8 fig9 table2
+// Experiments: fig5a fig5b fig6a fig6b fig6c fig7 fig8 fig9 table2 shards
 // ablation-o1 ablation-o2 ablation-o3 ablation-nolsc
 package main
 
@@ -54,6 +54,8 @@ func main() {
 			func() fmt.Stringer { return bench.Fig8(sc) }},
 		{"fig9", "Throughput under a node failure with RM recovery (paper Fig. 9)",
 			func() fmt.Stringer { r := bench.Fig9(sc); return r.Table }},
+		{"shards", "Write-throughput scaling across per-node engine shards, 1->8 workers (§4.1)",
+			func() fmt.Stringer { return bench.ShardScaling(sc) }},
 		{"ablation-o1", "O1: VAL elision savings (paper §3.3)",
 			func() fmt.Stringer { return bench.AblationO1(sc) }},
 		{"ablation-o2", "O2: virtual node ID fairness (paper §3.3)",

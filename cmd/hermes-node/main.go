@@ -70,6 +70,7 @@ func main() {
 	peers := flag.String("peers", "0=127.0.0.1:7100", "comma-separated id=host:port replica addresses")
 	clientAddr := flag.String("client", ":8100", "client-facing listen address")
 	mlt := flag.Duration("mlt", 50*time.Millisecond, "message-loss timeout")
+	shards := flag.Int("shards", 0, "protocol engine shards per node; every node must use the same value — set explicitly on heterogeneous machines (0 = one per CPU, capped)")
 	flag.Parse()
 
 	addrs, ids, err := parsePeers(*peers)
@@ -87,10 +88,15 @@ func main() {
 	}
 	defer mesh.Close()
 
-	node := cluster.NewNode(cluster.NodeConfig{
-		ID:   self,
-		View: proto.View{Epoch: 1, Members: ids},
-		MLT:  *mlt,
+	w := *shards
+	if w <= 0 {
+		w = cluster.DefaultShards()
+	}
+	node := cluster.NewShardedNode(cluster.ShardedConfig{
+		ID:     self,
+		View:   proto.View{Epoch: 1, Members: ids},
+		MLT:    *mlt,
+		Shards: w,
 	}, mesh)
 	defer node.Close()
 
@@ -98,7 +104,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("client listener: %v", err)
 	}
-	log.Printf("hermes-node %d: replicas=%v clients=%s", self, addrs, ln.Addr())
+	log.Printf("hermes-node %d: replicas=%v clients=%s shards=%d", self, addrs, ln.Addr(), w)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -108,7 +114,16 @@ func main() {
 	}
 }
 
-func serveClient(conn net.Conn, node *cluster.Node) {
+// kvNode is the client-facing surface both engine flavours provide
+// (*cluster.Node and *cluster.ShardedNode).
+type kvNode interface {
+	Read(ctx context.Context, key proto.Key) (proto.Value, error)
+	Write(ctx context.Context, key proto.Key, val proto.Value) error
+	CAS(ctx context.Context, key proto.Key, expect, val proto.Value) (bool, proto.Value, error)
+	FAA(ctx context.Context, key proto.Key, delta int64) (int64, error)
+}
+
+func serveClient(conn net.Conn, node kvNode) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	out := bufio.NewWriter(conn)

@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"context"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// ShardedNode is the multi-worker protocol engine of HermesKV (paper §4.1):
+// one live node hosting W independent core.Hermes state machines, each with
+// its own event-loop goroutine, kvs.Store segment and timers, each owning
+// the keyspace partition proto.ShardOf selects. Writes and RMWs to keys on
+// different shards commit fully in parallel — there is no cross-shard
+// serialization point — while the lock-free local-read fast path is the same
+// as Node's (it consults the owning shard's store directly).
+//
+// On the wire every protocol message is wrapped in a proto.ShardMsg so the
+// receiving node can route it to the peer shard that owns the key; shard s
+// of one node only ever converses with shard s of the others. All nodes of
+// a cluster must therefore be configured with the same shard count. With
+// Shards=1 the envelope is elided entirely: a single-shard node is
+// byte-for-byte identical to a plain Node on the wire and interoperates
+// with one.
+//
+// Membership m-updates fan out to every shard (InstallView), so the §3.4
+// fault-tolerance machinery — epoch filtering, write replays, shadow-replica
+// catch-up — operates per shard over that shard's slice of the keyspace.
+type ShardedNode struct {
+	id     proto.NodeID
+	w      int
+	tr     Transport
+	shards []*Node
+	// deliver[i] is shard i's arrival callback, captured when the shard's
+	// Node registers on its shardTransport during construction.
+	deliver []func(from proto.NodeID, msg any)
+}
+
+// ShardedConfig parameterizes a sharded replica. The embedded per-shard
+// toggles mean exactly what they do on NodeConfig; Shards is the worker
+// count W (values < 1 become 1, so the zero value degenerates to a plain
+// single-engine node).
+type ShardedConfig struct {
+	ID   proto.NodeID
+	View proto.View
+	MLT  time.Duration
+	// Hermes toggles (see core.Config).
+	ElideVAL, EarlyACKs, NoLSC bool
+	TickEvery                  time.Duration
+	Shards                     int
+}
+
+// DefaultShards picks a worker count for deployments that do not choose one:
+// one shard per CPU, capped — the paper's testbed runs ~20 worker threads
+// per node, but beyond the core count extra shards only add scheduling
+// overhead.
+func DefaultShards() int {
+	w := runtime.NumCPU()
+	if w > 16 {
+		w = 16
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// shardTransport is the per-shard window onto the node's real transport: it
+// tags outgoing messages with the shard index (unless W=1) and captures the
+// shard's deliver callback for the node-level dispatcher instead of
+// registering it with the real transport.
+type shardTransport struct {
+	sn  *ShardedNode
+	idx uint16
+}
+
+func (t *shardTransport) Send(from, to proto.NodeID, msg any) {
+	if t.sn.w == 1 {
+		t.sn.tr.Send(from, to, msg)
+		return
+	}
+	t.sn.tr.Send(from, to, proto.ShardMsg{Shard: t.idx, Msg: msg})
+}
+
+func (t *shardTransport) SetDeliver(id proto.NodeID, fn func(from proto.NodeID, msg any)) {
+	t.sn.deliver[t.idx] = fn
+}
+
+func (t *shardTransport) Close() error { return nil }
+
+// NewShardedNode builds and starts a live sharded Hermes replica on tr.
+func NewShardedNode(cfg ShardedConfig, tr Transport) *ShardedNode {
+	w := cfg.Shards
+	if w < 1 {
+		w = 1
+	}
+	sn := &ShardedNode{
+		id:      cfg.ID,
+		w:       w,
+		tr:      tr,
+		deliver: make([]func(proto.NodeID, any), w),
+	}
+	for i := 0; i < w; i++ {
+		sn.shards = append(sn.shards, NewNode(NodeConfig{
+			ID: cfg.ID, View: cfg.View.Clone(), MLT: cfg.MLT,
+			ElideVAL: cfg.ElideVAL, EarlyACKs: cfg.EarlyACKs, NoLSC: cfg.NoLSC,
+			TickEvery: cfg.TickEvery,
+		}, &shardTransport{sn: sn, idx: uint16(i)}))
+	}
+	tr.SetDeliver(cfg.ID, sn.dispatch)
+	return sn
+}
+
+// dispatch routes an arriving message to the shard that owns it. Tagged
+// messages are delivered only when the tag matches the local owner of the
+// key they carry: a peer configured with a different W computes different
+// owners, and delivering its traffic to a non-owner shard would store
+// values no reader ever consults — silent lost updates. Dropping instead
+// makes a W mismatch stall safely (the sender's MLT keeps retransmitting)
+// rather than corrupt. Untagged messages — from a plain Node or a W=1
+// sharded peer, the one supported mixed deployment — route by key the same
+// way.
+func (sn *ShardedNode) dispatch(from proto.NodeID, msg any) {
+	if sm, ok := msg.(proto.ShardMsg); ok {
+		if int(sm.Shard) < sn.w && sn.ownerOf(sm.Msg, sm.Shard) == sm.Shard {
+			sn.deliver[sm.Shard](from, sm.Msg)
+		}
+		return
+	}
+	sn.deliver[sn.ownerOf(msg, 0)](from, msg)
+}
+
+// ownerOf maps a protocol message to the shard owning it locally.
+// Key-carrying messages hash their key; instance-scoped traffic
+// (membership checks, state-transfer chunks) has no key and keeps dflt —
+// the sender's tag for tagged messages, shard 0 (where a W=1 peer's single
+// engine lives) for untagged ones.
+func (sn *ShardedNode) ownerOf(msg any, dflt uint16) uint16 {
+	if sn.w == 1 {
+		return 0
+	}
+	switch m := msg.(type) {
+	case core.INV:
+		return proto.ShardOf(m.Key, sn.w)
+	case core.ACK:
+		return proto.ShardOf(m.Key, sn.w)
+	case core.VAL:
+		return proto.ShardOf(m.Key, sn.w)
+	}
+	return dflt
+}
+
+// ID returns the node's ID.
+func (sn *ShardedNode) ID() proto.NodeID { return sn.id }
+
+// Shards returns the worker count W.
+func (sn *ShardedNode) Shards() int { return sn.w }
+
+// Shard exposes shard i's engine (metrics, tests).
+func (sn *ShardedNode) Shard(i int) *Node { return sn.shards[i] }
+
+// shardFor returns the engine owning key.
+func (sn *ShardedNode) shardFor(key proto.Key) *Node {
+	return sn.shards[proto.ShardOf(key, sn.w)]
+}
+
+// Read performs a linearizable read via the owning shard; Valid keys are
+// served lock-free from that shard's store segment.
+func (sn *ShardedNode) Read(ctx context.Context, key proto.Key) (proto.Value, error) {
+	return sn.shardFor(key).Read(ctx, key)
+}
+
+// Write performs a linearizable write via the owning shard.
+func (sn *ShardedNode) Write(ctx context.Context, key proto.Key, val proto.Value) error {
+	return sn.shardFor(key).Write(ctx, key, val)
+}
+
+// CAS performs a compare-and-swap via the owning shard.
+func (sn *ShardedNode) CAS(ctx context.Context, key proto.Key, expect, val proto.Value) (bool, proto.Value, error) {
+	return sn.shardFor(key).CAS(ctx, key, expect, val)
+}
+
+// FAA performs a fetch-and-add via the owning shard.
+func (sn *ShardedNode) FAA(ctx context.Context, key proto.Key, delta int64) (int64, error) {
+	return sn.shardFor(key).FAA(ctx, key, delta)
+}
+
+// InstallView fans the m-update out to every shard, preserving the §3.4
+// replay machinery per keyspace partition.
+func (sn *ShardedNode) InstallView(v proto.View) {
+	for _, s := range sn.shards {
+		s.InstallView(v)
+	}
+}
+
+// Close stops all shard engines (the transport is the caller's to close,
+// as with Node).
+func (sn *ShardedNode) Close() {
+	for _, s := range sn.shards {
+		s.Close()
+	}
+}
+
+// ShardedLocal is a single-process sharded replica group over a
+// ChanTransport, mirroring Local for the multi-worker engine.
+type ShardedLocal struct {
+	Nodes []*ShardedNode
+	Tr    *ChanTransport
+}
+
+// NewShardedLocal stands up an n-replica, W-shard Hermes group in-process.
+func NewShardedLocal(cfg LocalConfig, shards int) *ShardedLocal {
+	ids := make([]proto.NodeID, cfg.N)
+	for i := range ids {
+		ids[i] = proto.NodeID(i)
+	}
+	view := proto.View{Epoch: 1, Members: ids}
+	tr := NewChanTransport(ids)
+	l := &ShardedLocal{Tr: tr}
+	for _, id := range ids {
+		l.Nodes = append(l.Nodes, NewShardedNode(ShardedConfig{
+			ID: id, View: view, MLT: cfg.MLT,
+			ElideVAL: cfg.ElideVAL, EarlyACKs: cfg.EarlyACKs, NoLSC: cfg.NoLSC,
+			Shards: shards,
+		}, tr))
+	}
+	return l
+}
+
+// Close stops all nodes and the transport.
+func (l *ShardedLocal) Close() {
+	for _, n := range l.Nodes {
+		n.Close()
+	}
+	l.Tr.Close()
+}

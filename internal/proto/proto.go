@@ -281,6 +281,36 @@ type Env interface {
 	Complete(c Completion)
 }
 
+// ShardMsg is the shard-tagged wire envelope of the multi-worker protocol
+// engine (paper §4.1: each HermesKV node runs multiple worker threads, each
+// owning a partition of the keyspace). A sharded node wraps every outgoing
+// protocol message so the receiver can route it to the shard replica that
+// owns the key — shard s on one node only ever talks to shard s on its
+// peers. Nodes running a single shard send messages unwrapped, so W=1
+// deployments are wire-identical to the unsharded engine.
+type ShardMsg struct {
+	Shard uint16
+	Msg   any
+}
+
+// ShardOf maps a key to one of w keyspace shards. Every node of a cluster
+// must agree on w: the mapping is what makes "shard s here" and "shard s
+// there" replicas of the same partition. The mixer is splitmix64's
+// finalizer — deliberately different from the kvs.Store bucket hash so
+// protocol shards and store buckets decorrelate.
+func ShardOf(k Key, w int) uint16 {
+	if w <= 1 {
+		return 0
+	}
+	h := uint64(k) + 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return uint16(h % uint64(w))
+}
+
 // Broadcast sends msg to every node in targets via env. A convenience used
 // by all protocols; the wire layer may implement true multicast underneath.
 func Broadcast(env Env, targets []NodeID, msg any) {

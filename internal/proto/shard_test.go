@@ -1,0 +1,43 @@
+package proto
+
+import "testing"
+
+func TestShardOfSingleShard(t *testing.T) {
+	for _, k := range []Key{0, 1, 42, ^Key(0)} {
+		if ShardOf(k, 1) != 0 {
+			t.Fatalf("w=1 must map every key to shard 0, got %d for key %d", ShardOf(k, 1), k)
+		}
+		if ShardOf(k, 0) != 0 {
+			t.Fatalf("w=0 must map every key to shard 0")
+		}
+	}
+}
+
+func TestShardOfStableAndInRange(t *testing.T) {
+	for w := 2; w <= 16; w++ {
+		for k := Key(0); k < 1000; k++ {
+			s := ShardOf(k, w)
+			if int(s) >= w {
+				t.Fatalf("ShardOf(%d,%d)=%d out of range", k, w, s)
+			}
+			if s != ShardOf(k, w) {
+				t.Fatalf("ShardOf not deterministic")
+			}
+		}
+	}
+}
+
+func TestShardOfSpreadsUniformKeys(t *testing.T) {
+	const w, n = 4, 100000
+	var counts [w]int
+	for k := Key(0); k < n; k++ {
+		counts[ShardOf(k, w)]++
+	}
+	for s, c := range counts {
+		// Dense and random keys alike should land within a few percent of
+		// n/w; a 20% band catches gross skew without being flaky.
+		if c < n/w*8/10 || c > n/w*12/10 {
+			t.Fatalf("shard %d holds %d of %d keys (want ~%d)", s, c, n, n/w)
+		}
+	}
+}

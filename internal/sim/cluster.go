@@ -56,6 +56,17 @@ type Config struct {
 	// SizeOf estimates a message's wire payload size for PerByte costs and
 	// bandwidth accounting; nil uses a flat 64 B.
 	SizeOf func(msg any) int
+	// Workers models per-node CPU parallelism: each host runs that many
+	// independent FIFO servers instead of one, standing in for the paper's
+	// multiple worker threads per node (§4.1), each owning a keyspace
+	// shard. 0 or 1 keeps the classic single-server host.
+	Workers int
+	// WorkerOf routes work (protocol messages and proto.ClientOp values) to
+	// a host worker; the result is taken modulo Workers. Nil sends
+	// everything to worker 0 — with Workers > 1 that models a node whose
+	// extra cores sit idle, so callers wanting parallelism must route by
+	// key (see bench.ShardWorkerOf).
+	WorkerOf func(msg any) int
 }
 
 // Cluster is a simulated deployment: engine + network + hosts + sessions.
@@ -73,14 +84,18 @@ type Cluster struct {
 }
 
 type host struct {
-	c         *Cluster
-	id        proto.NodeID
-	rep       proto.Replica
-	agent     *membership.Agent
-	busyUntil time.Duration
+	c     *Cluster
+	id    proto.NodeID
+	rep   proto.Replica
+	agent *membership.Agent
+	// busyUntil holds each worker's queue horizon; workers are independent
+	// FIFO servers over the shared virtual clock.
+	busyUntil []time.Duration
 	crashed   bool
-	// Busy accumulates CPU time consumed, for utilization accounting.
-	Busy time.Duration
+	// Busy accumulates CPU time consumed across all workers, for
+	// utilization accounting; WorkerBusy breaks it out per worker.
+	Busy       time.Duration
+	WorkerBusy []time.Duration
 }
 
 // hostEnv adapts a host to proto.Env. Handlers execute at their CPU
@@ -113,6 +128,9 @@ func New(cfg Config) *Cluster {
 	if cfg.Costs == (Costs{}) {
 		cfg.Costs = DefaultCosts()
 	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
 	c := &Cluster{
 		cfg:      cfg,
 		eng:      NewEngine(),
@@ -127,7 +145,10 @@ func New(cfg Config) *Cluster {
 	c.view = proto.View{Epoch: 1, Members: members}
 
 	for _, id := range members {
-		h := &host{c: c, id: id}
+		h := &host{c: c, id: id,
+			busyUntil:  make([]time.Duration, cfg.Workers),
+			WorkerBusy: make([]time.Duration, cfg.Workers),
+		}
 		env := hostEnv{h: h}
 		h.rep = cfg.Factory(id, c.view, env)
 		if cfg.RM != nil {
@@ -187,16 +208,32 @@ func (c *Cluster) sizeOf(msg any) int {
 	return 64
 }
 
-// exec models the host CPU: fn runs after the host has had cost free CPU
-// time, FIFO behind earlier work.
-func (h *host) exec(cost time.Duration, fn func()) {
-	start := h.c.eng.Now()
-	if h.busyUntil > start {
-		start = h.busyUntil
+// workerOf picks the worker that will process msg: the configured router
+// modulo the worker count, worker 0 otherwise.
+func (c *Cluster) workerOf(msg any) int {
+	if c.cfg.Workers <= 1 || c.cfg.WorkerOf == nil {
+		return 0
 	}
-	h.busyUntil = start + cost
+	w := c.cfg.WorkerOf(msg) % c.cfg.Workers
+	if w < 0 {
+		w += c.cfg.Workers
+	}
+	return w
+}
+
+// exec models one host worker's CPU: fn runs after worker w has had cost
+// free CPU time, FIFO behind that worker's earlier work. Different workers
+// of one host proceed in parallel virtual time — the multi-worker node
+// model of §4.1.
+func (h *host) exec(w int, cost time.Duration, fn func()) {
+	start := h.c.eng.Now()
+	if h.busyUntil[w] > start {
+		start = h.busyUntil[w]
+	}
+	h.busyUntil[w] = start + cost
 	h.Busy += cost
-	h.c.eng.At(h.busyUntil, func() {
+	h.WorkerBusy[w] += cost
+	h.c.eng.At(h.busyUntil[w], func() {
 		if !h.crashed {
 			fn()
 		}
@@ -210,7 +247,7 @@ func (c *Cluster) deliver(to, from proto.NodeID, msg any, bytes int) {
 		return
 	}
 	cost := c.cfg.Costs.Message + time.Duration(bytes)*c.cfg.Costs.PerByte
-	h.exec(cost, func() {
+	h.exec(c.workerOf(msg), cost, func() {
 		if membership.IsMsg(msg) {
 			if h.agent != nil {
 				h.agent.Deliver(from, msg)
@@ -229,7 +266,7 @@ func (c *Cluster) Submit(id proto.NodeID, op proto.ClientOp, cb func(proto.Compl
 	}
 	c.sessions[id][op.ID] = cb
 	cost := c.cfg.Costs.ClientOp + time.Duration(len(op.Value))*c.cfg.Costs.PerByte
-	h.exec(cost, func() { h.rep.Submit(op) })
+	h.exec(c.workerOf(op), cost, func() { h.rep.Submit(op) })
 }
 
 func (c *Cluster) complete(id proto.NodeID, comp proto.Completion) {
@@ -261,7 +298,8 @@ func (c *Cluster) InstallView(v proto.View) {
 	c.view = v
 }
 
-// Utilization returns each host's CPU busy fraction over elapsed time.
+// Utilization returns each host's CPU busy fraction over elapsed time,
+// normalized by the worker count (1.0 = all workers saturated).
 func (c *Cluster) Utilization() []float64 {
 	el := c.eng.Now()
 	if el == 0 {
@@ -269,7 +307,24 @@ func (c *Cluster) Utilization() []float64 {
 	}
 	out := make([]float64, len(c.hosts))
 	for i, h := range c.hosts {
-		out[i] = float64(h.Busy) / float64(el)
+		out[i] = float64(h.Busy) / float64(el) / float64(c.cfg.Workers)
+	}
+	return out
+}
+
+// WorkerUtilization returns, per host, each worker's busy fraction —
+// exposing shard load (im)balance.
+func (c *Cluster) WorkerUtilization() [][]float64 {
+	el := c.eng.Now()
+	out := make([][]float64, len(c.hosts))
+	for i, h := range c.hosts {
+		out[i] = make([]float64, len(h.WorkerBusy))
+		if el == 0 {
+			continue
+		}
+		for w, b := range h.WorkerBusy {
+			out[i][w] = float64(b) / float64(el)
+		}
 	}
 	return out
 }

@@ -22,6 +22,10 @@ type WorkloadParams struct {
 	// RetryAborts reissues aborted RMWs (clients typically retry a failed
 	// lock acquisition).
 	RetryAborts bool
+	// Observer, when non-nil, sees every completion inside the measured
+	// window — the hook per-shard throughput accounting uses (the
+	// completion's Key identifies the owning shard).
+	Observer func(comp proto.Completion)
 	// Seed varies session RNGs between runs.
 	Seed int64
 }
@@ -135,6 +139,9 @@ func (s *session) onDone(comp proto.Completion) {
 	}
 	lat := now - s.issued
 	if now >= s.r.start && now < s.r.end {
+		if s.p.Observer != nil {
+			s.p.Observer(comp)
+		}
 		s.r.res.Ops++
 		s.r.res.All.Record(lat)
 		if comp.Kind == proto.OpRead {

@@ -37,6 +37,11 @@ func DefaultLinkConfig() wings.LinkConfig {
 		Credits:       1024,
 		ExplicitEvery: 64,
 		IsResponse: func(m any) bool {
+			// A shard-tagged response repays credit the same as a bare one:
+			// the envelope is routing, not flow-control semantics.
+			if sm, ok := m.(proto.ShardMsg); ok {
+				m = sm.Msg
+			}
 			switch m.(type) {
 			case core.ACK, core.MCheckAck, core.ChunkResp:
 				return true

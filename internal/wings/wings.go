@@ -43,6 +43,10 @@ const (
 	tChunkReq
 	tChunkResp
 	tCredit
+	// tShard wraps any other message with a 2-byte shard tag — the
+	// proto.ShardMsg envelope of the multi-worker engine. Payload:
+	// [2B shard][1B inner type][4B inner length][inner payload].
+	tShard
 )
 
 // maxFrame bounds a frame's size (defense against corrupt streams).
@@ -95,6 +99,17 @@ func appendMsg(buf []byte, msg any) ([]byte, error) {
 			buf = appendBool(buf, r.RMW)
 			buf = appendBool(buf, r.Invalid)
 			buf = appendBytes(buf, r.Value)
+		}
+	case proto.ShardMsg:
+		t = tShard
+		if _, nested := m.Msg.(proto.ShardMsg); nested {
+			return nil, fmt.Errorf("wings: nested ShardMsg")
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, m.Shard)
+		var err error
+		buf, err = appendMsg(buf, m.Msg)
+		if err != nil {
+			return nil, err
 		}
 	default:
 		return nil, fmt.Errorf("wings: cannot encode %T", msg)
@@ -219,6 +234,32 @@ func decodeMsg(t uint8, body []byte) (any, error) {
 			m.Recs = append(m.Recs, rec)
 		}
 		msg = m
+	case tShard:
+		shard := r.u16()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.off+5 > len(r.b) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		it := r.b[r.off]
+		// The encoder wraps exactly one level; a nested tShard only occurs
+		// in a corrupt or hostile stream, and recursing on it unboundedly
+		// would let a 16 MB frame blow the stack.
+		if it == tShard || it == tCredit {
+			return nil, ErrUnknownType
+		}
+		n := int(binary.LittleEndian.Uint32(r.b[r.off+1:]))
+		r.off += 5
+		if n < 0 || r.off+n > len(r.b) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		inner, err := decodeMsg(it, r.b[r.off:r.off+n])
+		if err != nil {
+			return nil, err
+		}
+		r.off += n
+		msg = proto.ShardMsg{Shard: shard, Msg: inner}
 	default:
 		return nil, ErrUnknownType
 	}
