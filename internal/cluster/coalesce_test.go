@@ -1,0 +1,324 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// gateTransport records sends and can block them, exposing the coalescer's
+// opportunistic gathering deterministically: while one flush is stuck in
+// Send, everything else enqueued for that peer must pile into one batch.
+type gateTransport struct {
+	mu    sync.Mutex
+	sent  []any
+	gate  chan struct{} // nil = sends pass; else Send blocks on it
+	sendC chan struct{} // signaled at entry to Send
+}
+
+func (g *gateTransport) Send(from, to proto.NodeID, msg any) {
+	g.mu.Lock()
+	gate := g.gate
+	g.mu.Unlock()
+	select {
+	case g.sendC <- struct{}{}:
+	default:
+	}
+	if gate != nil {
+		<-gate
+	}
+	g.mu.Lock()
+	g.sent = append(g.sent, msg)
+	g.mu.Unlock()
+}
+
+func (g *gateTransport) SetDeliver(id proto.NodeID, fn func(proto.NodeID, any)) {}
+func (g *gateTransport) Close() error                                           { return nil }
+
+func (g *gateTransport) msgs() []any {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]any(nil), g.sent...)
+}
+
+// TestCoalescerGathersWhileSendInFlight drives the per-peer coalescer
+// directly: with the transport gated shut after admitting one flush, three
+// more ACKs enqueue behind it and must ship as a single ShardBatch frame
+// once the gate opens.
+func TestCoalescerGathersWhileSendInFlight(t *testing.T) {
+	gate := make(chan struct{})
+	tr := &gateTransport{gate: gate, sendC: make(chan struct{}, 1)}
+	sn := NewShardedNode(ShardedConfig{
+		ID: 0, View: proto.View{Epoch: 1, Members: []proto.NodeID{0, 1}},
+		Shards: 4,
+	}, tr)
+	defer sn.Close()
+
+	ack := func(shard uint16, key proto.Key) proto.ShardMsg {
+		return proto.ShardMsg{Shard: shard, Msg: core.ACK{Epoch: 1, Key: key, TS: proto.TS{Version: 1}}}
+	}
+
+	co := sn.coalescerFor(coalKey{to: 1, response: true}) // ACKs are responses
+	co.enqueue(ack(0, 10))
+	// Wait until the flusher is inside Send (blocked on the gate) so the
+	// next three enqueues cannot race ahead of it.
+	select {
+	case <-tr.sendC:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flusher never reached the transport")
+	}
+	co.enqueue(ack(1, 11))
+	co.enqueue(ack(2, 12))
+	co.enqueue(ack(3, 13))
+	close(gate)
+
+	deadline := time.After(5 * time.Second)
+	for {
+		if len(tr.msgs()) >= 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("coalescer shipped %d frames, want 2", len(tr.msgs()))
+		case <-time.After(time.Millisecond):
+		}
+	}
+	sent := tr.msgs()
+	if len(sent) != 2 {
+		t.Fatalf("got %d frames, want 2 (one single + one batch): %#v", len(sent), sent)
+	}
+	if !reflect.DeepEqual(sent[0], ack(0, 10)) {
+		t.Fatalf("first flush should be the lone ShardMsg, got %#v", sent[0])
+	}
+	batch, ok := sent[1].(proto.ShardBatch)
+	if !ok {
+		t.Fatalf("second flush is %T, want ShardBatch", sent[1])
+	}
+	want := proto.ShardBatch{Msgs: []proto.ShardMsg{ack(1, 11), ack(2, 12), ack(3, 13)}}
+	if !reflect.DeepEqual(batch, want) {
+		t.Fatalf("batch contents:\n got %#v\nwant %#v", batch, want)
+	}
+	if batches, coalesced, singles, dropped := sn.CoalesceStats(); batches != 1 || coalesced != 3 || singles != 1 || dropped != 0 {
+		t.Fatalf("CoalesceStats = (%d,%d,%d,%d), want (1,3,1,0)", batches, coalesced, singles, dropped)
+	}
+}
+
+// TestCoalescerSeparatesCreditClasses drives ACKs and VALs for one peer
+// through the shard transports and checks no flushed batch ever mixes the
+// classes: an all-ACK batch consumes no send credit, so ACK egress (which
+// repays the peer) must never queue behind a credit-starved VAL batch.
+func TestCoalescerSeparatesCreditClasses(t *testing.T) {
+	gate := make(chan struct{})
+	tr := &gateTransport{gate: gate, sendC: make(chan struct{}, 2)}
+	sn := NewShardedNode(ShardedConfig{
+		ID: 0, View: proto.View{Epoch: 1, Members: []proto.NodeID{0, 1}},
+		Shards: 4,
+	}, tr)
+	defer sn.Close()
+
+	st := &shardTransport{sn: sn, idx: 0}
+	for i := 0; i < 4; i++ {
+		st.idx = uint16(i)
+		st.Send(0, 1, core.ACK{Epoch: 1, Key: proto.Key(10 + i), TS: proto.TS{Version: 1}})
+		st.Send(0, 1, core.VAL{Epoch: 1, Key: proto.Key(20 + i), TS: proto.TS{Version: 1}})
+	}
+	close(gate)
+
+	deadline := time.After(5 * time.Second)
+	acks, vals := 0, 0
+	for acks < 4 || vals < 4 {
+		if len(tr.msgs()) == 0 {
+			select {
+			case <-deadline:
+				t.Fatalf("flushed %d ACKs / %d VALs of 4+4", acks, vals)
+			case <-time.After(time.Millisecond):
+			}
+		}
+		acks, vals = 0, 0
+		for _, m := range tr.msgs() {
+			var entries []proto.ShardMsg
+			switch f := m.(type) {
+			case proto.ShardBatch:
+				entries = f.Msgs
+			case proto.ShardMsg:
+				entries = []proto.ShardMsg{f}
+			default:
+				t.Fatalf("unexpected frame %T", m)
+			}
+			frameACKs, frameVALs := 0, 0
+			for _, sm := range entries {
+				switch sm.Msg.(type) {
+				case core.ACK:
+					frameACKs++
+				case core.VAL:
+					frameVALs++
+				default:
+					t.Fatalf("unexpected entry %T", sm.Msg)
+				}
+			}
+			if frameACKs > 0 && frameVALs > 0 {
+				t.Fatalf("frame mixes credit classes: %d ACKs and %d VALs", frameACKs, frameVALs)
+			}
+			acks += frameACKs
+			vals += frameVALs
+		}
+	}
+}
+
+// TestDispatchFansOutShardBatch hand-delivers a coalesced frame and checks
+// each inner message reaches exactly its owner shard — and that entries
+// whose tag disagrees with local ownership (a W-mismatched peer) drop.
+func TestDispatchFansOutShardBatch(t *testing.T) {
+	const w = 4
+	tr := &gateTransport{sendC: make(chan struct{}, 1)}
+	sn := NewShardedNode(ShardedConfig{
+		ID: 0, View: proto.View{Epoch: 1, Members: []proto.NodeID{0, 1}},
+		Shards: w,
+	}, tr)
+	defer sn.Close()
+
+	// Replace the captured shard delivers with recorders.
+	type rec struct {
+		shard int
+		msg   any
+	}
+	got := make(chan rec, 16)
+	for i := 0; i < w; i++ {
+		i := i
+		sn.deliver[i] = func(from proto.NodeID, msg any) { got <- rec{shard: i, msg: msg} }
+	}
+
+	keyOn := func(shard uint16) proto.Key {
+		for k := proto.Key(1); ; k++ {
+			if proto.ShardOf(k, w) == shard {
+				return k
+			}
+		}
+	}
+	k1, k2 := keyOn(1), keyOn(3)
+	badKey := keyOn(2) // tagged 0 below: owner mismatch, must drop
+	sn.dispatch(1, proto.ShardBatch{Msgs: []proto.ShardMsg{
+		{Shard: 1, Msg: core.ACK{Epoch: 1, Key: k1, TS: proto.TS{Version: 1}}},
+		{Shard: 3, Msg: core.VAL{Epoch: 1, Key: k2, TS: proto.TS{Version: 1}}},
+		{Shard: 0, Msg: core.ACK{Epoch: 1, Key: badKey, TS: proto.TS{Version: 1}}},
+	}})
+
+	want := map[int]proto.Key{1: k1, 3: k2}
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-got:
+			wantKey, ok := want[r.shard]
+			if !ok {
+				t.Fatalf("unexpected delivery to shard %d: %#v", r.shard, r.msg)
+			}
+			delete(want, r.shard)
+			switch m := r.msg.(type) {
+			case core.ACK:
+				if m.Key != wantKey {
+					t.Fatalf("shard %d got key %d, want %d", r.shard, m.Key, wantKey)
+				}
+			case core.VAL:
+				if m.Key != wantKey {
+					t.Fatalf("shard %d got key %d, want %d", r.shard, m.Key, wantKey)
+				}
+			default:
+				t.Fatalf("shard %d got %T", r.shard, r.msg)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("batch fan-out incomplete; still waiting on shards %v", want)
+		}
+	}
+	select {
+	case r := <-got:
+		t.Fatalf("mis-owned entry delivered to shard %d: %#v", r.shard, r.msg)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// slowTransport delays every Send slightly, standing in for a real wire:
+// while one flush is in transit, concurrent shard engines pile more
+// messages into the coalescers — which the instantaneous ChanTransport
+// would rarely let happen.
+type slowTransport struct {
+	*ChanTransport
+	delay time.Duration
+}
+
+func (s *slowTransport) Send(from, to proto.NodeID, msg any) {
+	time.Sleep(s.delay)
+	s.ChanTransport.Send(from, to, msg)
+}
+
+// TestShardedLocalCoalescesAndStaysCorrect runs a W=4 replica group with
+// concurrent writers over a wire-speed transport and checks (a) all
+// replicas converge — coalesced frames fan out correctly end to end — and
+// (b) the egress coalescers actually formed batches under the concurrency.
+func TestShardedLocalCoalescesAndStaysCorrect(t *testing.T) {
+	const w = 4
+	ids := []proto.NodeID{0, 1, 2}
+	view := proto.View{Epoch: 1, Members: ids}
+	tr := &slowTransport{ChanTransport: NewChanTransport(ids), delay: 100 * time.Microsecond}
+	l := &ShardedLocal{Tr: tr.ChanTransport}
+	for _, id := range ids {
+		l.Nodes = append(l.Nodes, NewShardedNode(ShardedConfig{
+			ID: id, View: view, MLT: 20 * time.Millisecond, Shards: w,
+		}, tr))
+	}
+	defer l.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Several writer sessions per node: a batch needs 2+ ACKs (or VALs) for
+	// the SAME peer in flight at once, which only happens when one
+	// coordinator has concurrent writes on different shards.
+	var wg sync.WaitGroup
+	for ni, n := range l.Nodes {
+		for s := 0; s < 8; s++ {
+			wg.Add(1)
+			go func(ni, s int, n *ShardedNode) {
+				defer wg.Done()
+				for j := 0; j < 10; j++ {
+					k := proto.Key((s*10+j)%32 + 1)
+					if err := n.Write(ctx, k, proto.Value(fmt.Sprintf("n%d-%d-%d", ni, s, j))); err != nil {
+						t.Errorf("node %d write %d/%d: %v", ni, s, j, err)
+						return
+					}
+				}
+			}(ni, s, n)
+		}
+	}
+	wg.Wait()
+
+	for k := proto.Key(1); k <= 32; k++ {
+		ref, err := l.Nodes[0].Read(ctx, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range l.Nodes[1:] {
+			v, err := n.Read(ctx, k)
+			if err != nil || string(v) != string(ref) {
+				t.Fatalf("divergence on key %d: node %d has %q, node 0 has %q (%v)",
+					k, n.ID(), v, ref, err)
+			}
+		}
+	}
+
+	var batches, coalesced uint64
+	for _, n := range l.Nodes {
+		b, c, _, _ := n.CoalesceStats()
+		batches += b
+		coalesced += c
+	}
+	if batches == 0 {
+		t.Fatal("240 concurrent cross-shard writes formed no coalesced batches")
+	}
+	if coalesced < 2*batches {
+		t.Fatalf("batches=%d carried only %d messages; batching is degenerate", batches, coalesced)
+	}
+}

@@ -3,6 +3,8 @@ package cluster
 import (
 	"context"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -25,6 +27,13 @@ import (
 // byte-for-byte identical to a plain Node on the wire and interoperates
 // with one.
 //
+// Small messages (ACKs, VALs) do not write the transport directly: they
+// pass through a per-peer egress coalescer that gathers what the W engines
+// emit concurrently and ships it as one proto.ShardBatch frame under one
+// flow-control credit — cutting the per-write frame rate that W would
+// otherwise multiply. Arriving batches fan back out to owner shards in
+// dispatch.
+//
 // Membership m-updates fan out to every shard (InstallView), so the §3.4
 // fault-tolerance machinery — epoch filtering, write replays, shadow-replica
 // catch-up — operates per shard over that shard's slice of the keyspace.
@@ -36,6 +45,21 @@ type ShardedNode struct {
 	// deliver[i] is shard i's arrival callback, captured when the shard's
 	// Node registers on its shardTransport during construction.
 	deliver []func(from proto.NodeID, msg any)
+
+	// coal holds the egress coalescers, two per peer (lazily created): small
+	// shard-tagged messages from all W engines gather there and ship as one
+	// proto.ShardBatch frame under one flow-control credit, instead of W
+	// independent ShardMsg frames. Responses (ACKs) and credit-consuming
+	// messages (VALs) coalesce separately — see coalescerFor. Unused at W=1
+	// (no envelopes at all).
+	coalMu sync.Mutex
+	coal   map[coalKey]*peerCoalescer
+
+	// Coalescing counters (atomic; see CoalesceStats).
+	batchesOut, coalescedOut, singlesOut atomic.Uint64
+	// droppedOut counts messages shed by full coalescer buffers (a stalled
+	// peer); the shard engines' retransmission recovers them.
+	droppedOut atomic.Uint64
 }
 
 // ShardedConfig parameterizes a sharded replica. The embedded per-shard
@@ -74,6 +98,10 @@ func DefaultShards() int {
 type shardTransport struct {
 	sn  *ShardedNode
 	idx uint16
+	// coalCache memoizes coalescer lookups so the per-message fast path
+	// skips the node-global coalMu; only this shard's event loop touches it,
+	// so it needs no lock.
+	coalCache map[coalKey]*peerCoalescer
 }
 
 func (t *shardTransport) Send(from, to proto.NodeID, msg any) {
@@ -81,7 +109,25 @@ func (t *shardTransport) Send(from, to proto.NodeID, msg any) {
 		t.sn.tr.Send(from, to, msg)
 		return
 	}
-	t.sn.tr.Send(from, to, proto.ShardMsg{Shard: t.idx, Msg: msg})
+	sm := proto.ShardMsg{Shard: t.idx, Msg: msg}
+	if core.Coalescable(msg) {
+		// Small fixed-size messages are the coalescing targets: at W shards
+		// they dominate the frame rate, and no protocol property depends on
+		// their ordering relative to the direct path (links are lossy and
+		// reordering anyway).
+		k := coalKey{to: to, response: core.IsResponseMsg(msg)}
+		p := t.coalCache[k]
+		if p == nil {
+			p = t.sn.coalescerFor(k)
+			if t.coalCache == nil {
+				t.coalCache = make(map[coalKey]*peerCoalescer)
+			}
+			t.coalCache[k] = p
+		}
+		p.enqueue(sm)
+		return
+	}
+	t.sn.tr.Send(from, to, sm)
 }
 
 func (t *shardTransport) SetDeliver(id proto.NodeID, fn func(from proto.NodeID, msg any)) {
@@ -89,6 +135,112 @@ func (t *shardTransport) SetDeliver(id proto.NodeID, fn func(from proto.NodeID, 
 }
 
 func (t *shardTransport) Close() error { return nil }
+
+// coalKey identifies one egress coalescer: the destination peer and the
+// flow-control class of what it carries. Responses (ACKs) and
+// credit-consuming messages (VALs) never share a batch or a flusher: a
+// homogeneous all-response batch consumes no send credit, so ACK egress —
+// the traffic that repays the peer's credits — can never block behind a
+// credit-starved VAL batch. Mixing them could deadlock two mutually starved
+// peers whose repayments sit queued behind their own blocked flushers.
+type coalKey struct {
+	to       proto.NodeID
+	response bool
+}
+
+// maxBatchMsgs caps one ShardBatch at the codec's 2-byte count; a fuller
+// buffer flushes as several frames.
+const maxBatchMsgs = 0xFFFF
+
+// maxCoalesceBuf bounds one coalescer's queue. Enqueue never blocks the
+// shard engines, so when the flusher is stalled (a credit-starved peer) the
+// buffer must not grow without bound; past the cap, messages drop — the
+// same bounded-queue discipline as ChanTransport's full inbox, and the
+// protocols' retransmission recovers.
+const maxCoalesceBuf = 1 << 16
+
+// peerCoalescer gathers small shard-tagged messages of one credit class
+// bound for one peer across all W shard engines and flushes them as single
+// ShardBatch frames. Batching is opportunistic, exactly like the wings
+// flusher it feeds: the first enqueue starts a flusher goroutine, and while
+// its Send is in flight (possibly blocked on flow-control credits) further
+// messages pile into buf and ship together — latency is never traded for
+// batch size.
+type peerCoalescer struct {
+	sn *ShardedNode
+	to proto.NodeID
+
+	mu       sync.Mutex
+	buf      []proto.ShardMsg
+	flushing bool
+}
+
+func (p *peerCoalescer) enqueue(sm proto.ShardMsg) {
+	p.mu.Lock()
+	if len(p.buf) >= maxCoalesceBuf {
+		p.mu.Unlock()
+		p.sn.droppedOut.Add(1)
+		return
+	}
+	p.buf = append(p.buf, sm)
+	if !p.flushing {
+		p.flushing = true
+		go p.flushLoop()
+	}
+	p.mu.Unlock()
+}
+
+func (p *peerCoalescer) flushLoop() {
+	for {
+		p.mu.Lock()
+		if len(p.buf) == 0 {
+			p.flushing = false
+			p.mu.Unlock()
+			return
+		}
+		batch := p.buf
+		if len(batch) > maxBatchMsgs {
+			batch = batch[:maxBatchMsgs]
+			p.buf = p.buf[maxBatchMsgs:]
+		} else {
+			p.buf = nil
+		}
+		p.mu.Unlock()
+
+		if len(batch) == 1 {
+			// A lone message ships as a plain ShardMsg: no envelope overhead,
+			// and the wire stays identical to the pre-coalescing protocol
+			// whenever there is nothing to coalesce.
+			p.sn.singlesOut.Add(1)
+			p.sn.tr.Send(p.sn.id, p.to, batch[0])
+			continue
+		}
+		p.sn.batchesOut.Add(1)
+		p.sn.coalescedOut.Add(uint64(len(batch)))
+		p.sn.tr.Send(p.sn.id, p.to, proto.ShardBatch{Msgs: batch})
+	}
+}
+
+// coalescerFor returns (creating if needed) the egress coalescer for a
+// peer and credit class. Hot paths go through shardTransport's per-shard
+// cache and reach here only on first contact with a peer.
+func (sn *ShardedNode) coalescerFor(k coalKey) *peerCoalescer {
+	sn.coalMu.Lock()
+	defer sn.coalMu.Unlock()
+	p := sn.coal[k]
+	if p == nil {
+		p = &peerCoalescer{sn: sn, to: k.to}
+		sn.coal[k] = p
+	}
+	return p
+}
+
+// CoalesceStats reports the egress coalescers' work: batch frames shipped,
+// messages carried inside them, messages that flushed alone, and messages
+// shed by full buffers.
+func (sn *ShardedNode) CoalesceStats() (batches, coalesced, singles, dropped uint64) {
+	return sn.batchesOut.Load(), sn.coalescedOut.Load(), sn.singlesOut.Load(), sn.droppedOut.Load()
+}
 
 // NewShardedNode builds and starts a live sharded Hermes replica on tr.
 func NewShardedNode(cfg ShardedConfig, tr Transport) *ShardedNode {
@@ -101,6 +253,7 @@ func NewShardedNode(cfg ShardedConfig, tr Transport) *ShardedNode {
 		w:       w,
 		tr:      tr,
 		deliver: make([]func(proto.NodeID, any), w),
+		coal:    make(map[coalKey]*peerCoalescer),
 	}
 	for i := 0; i < w; i++ {
 		sn.shards = append(sn.shards, NewNode(NodeConfig{
@@ -123,13 +276,24 @@ func NewShardedNode(cfg ShardedConfig, tr Transport) *ShardedNode {
 // sharded peer, the one supported mixed deployment — route by key the same
 // way.
 func (sn *ShardedNode) dispatch(from proto.NodeID, msg any) {
-	if sm, ok := msg.(proto.ShardMsg); ok {
-		if int(sm.Shard) < sn.w && sn.ownerOf(sm.Msg, sm.Shard) == sm.Shard {
-			sn.deliver[sm.Shard](from, sm.Msg)
+	switch m := msg.(type) {
+	case proto.ShardBatch:
+		// A coalesced frame fans out: each inner message goes to its owner
+		// shard under the same tag check as a standalone tagged message.
+		for _, sm := range m.Msgs {
+			sn.dispatchTagged(from, sm)
 		}
-		return
+	case proto.ShardMsg:
+		sn.dispatchTagged(from, m)
+	default:
+		sn.deliver[sn.ownerOf(msg, 0)](from, msg)
 	}
-	sn.deliver[sn.ownerOf(msg, 0)](from, msg)
+}
+
+func (sn *ShardedNode) dispatchTagged(from proto.NodeID, sm proto.ShardMsg) {
+	if int(sm.Shard) < sn.w && sn.ownerOf(sm.Msg, sm.Shard) == sm.Shard {
+		sn.deliver[sm.Shard](from, sm.Msg)
+	}
 }
 
 // ownerOf maps a protocol message to the shard owning it locally.

@@ -826,16 +826,21 @@ func (h *Hermes) releaseSpecReads(n int) {
 
 // --- §3.4 Recovery: shadow replica state transfer ---
 
+// fetchChunkKeys is the state-transfer chunk size: both the member-rotation
+// arithmetic and the per-request MaxKeys derive from it so the two cannot
+// drift apart.
+const fetchChunkKeys = 512
+
 func (h *Hermes) fetchNextChunk() {
 	members := h.view.Others(h.id)
 	if len(members) == 0 {
 		return
 	}
 	// Spread chunk reads across members, as the paper's recovery does.
-	from := members[int(h.fetchCursor/512)%len(members)]
+	from := members[int(h.fetchCursor/fetchChunkKeys)%len(members)]
 	h.fetchBusy = true
 	h.fetchRetryAt = h.env.Now() + h.cfg.MLT
-	h.env.Send(from, ChunkReq{Epoch: h.view.Epoch, Cursor: h.fetchCursor, MaxKeys: 512})
+	h.env.Send(from, ChunkReq{Epoch: h.view.Epoch, Cursor: h.fetchCursor, MaxKeys: fetchChunkKeys})
 }
 
 func (h *Hermes) onChunkReq(from proto.NodeID, req ChunkReq) {

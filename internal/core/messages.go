@@ -89,3 +89,29 @@ type ChunkRec struct {
 	RMW     bool
 	Invalid bool
 }
+
+// Coalescable marks the small fixed-size messages a sharded node's egress
+// layer gathers into cross-shard batch frames: ACKs and VALs, which at W
+// shards dominate the per-write frame rate. One predicate serves both the
+// live coalescer (cluster) and the simulator's model of it (bench), so the
+// two cannot drift. IsResponse distinguishes the flow-control class: ACKs
+// are responses (consume no send credit — they repay one), VALs are not.
+func Coalescable(msg any) bool {
+	switch msg.(type) {
+	case ACK, VAL:
+		return true
+	}
+	return false
+}
+
+// IsResponseMsg reports whether msg implicitly repays a flow-control credit
+// to its sender's peer (paper §4.2): responses ride the buffer space the
+// requester reserved. The transport's credit discipline and the egress
+// coalescer's batch classing both derive from it.
+func IsResponseMsg(msg any) bool {
+	switch msg.(type) {
+	case ACK, MCheckAck, ChunkResp:
+		return true
+	}
+	return false
+}

@@ -293,6 +293,17 @@ type ShardMsg struct {
 	Msg   any
 }
 
+// ShardBatch is a coalesced frame of shard-tagged messages bound for one
+// peer: the egress layer of a sharded node gathers small messages (ACKs,
+// VALs) from all of its shard engines and ships them as a single wire frame
+// under a single flow-control credit, instead of W independent ShardMsg
+// frames with independent credit traffic. Msgs is never empty and its
+// elements never nest another envelope. Single-shard (W=1) nodes never emit
+// batches, preserving wire compatibility with the unsharded engine.
+type ShardBatch struct {
+	Msgs []ShardMsg
+}
+
 // ShardOf maps a key to one of w keyspace shards. Every node of a cluster
 // must agree on w: the mapping is what makes "shard s here" and "shard s
 // there" replicas of the same partition. The mixer is splitmix64's

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func runCoalescePoint(t *testing.T, window time.Duration) Result {
+	t.Helper()
+	cfg := Config{
+		Nodes:    3,
+		Factory:  hermesFactory(500 * time.Microsecond),
+		Net:      DefaultNet(),
+		Seed:     3,
+		Workers:  4,
+		WorkerOf: func(msg any) int { return 0 }, // worker routing irrelevant here
+	}
+	if window > 0 {
+		cfg.CoalesceWindow = window
+		cfg.Coalescable = core.Coalescable
+	}
+	c := New(cfg)
+	return c.RunWorkload(WorkloadParams{
+		Workload:        workload.Config{Keys: 512, WriteRatio: 1.0, ValueSize: 32},
+		SessionsPerNode: 16,
+		Warmup:          200 * time.Microsecond,
+		Duration:        4 * time.Millisecond,
+	})
+}
+
+// TestCoalescingCutsFramesNotMessages checks the simulator's model of the
+// coalescing layer: the protocol exchanges the same messages either way
+// (msgs/op invariant), but with coalescing on, several ACKs/VALs to one
+// peer share a frame, so frames come out measurably below messages.
+func TestCoalescingCutsFramesNotMessages(t *testing.T) {
+	off := runCoalescePoint(t, 0)
+	on := runCoalescePoint(t, time.Microsecond)
+
+	if off.Ops == 0 || on.Ops == 0 {
+		t.Fatalf("ops: off=%d on=%d", off.Ops, on.Ops)
+	}
+	if off.FramesSent != off.MsgsSent {
+		t.Fatalf("without coalescing frames (%d) must equal messages (%d)",
+			off.FramesSent, off.MsgsSent)
+	}
+	if on.FramesSent >= on.MsgsSent {
+		t.Fatalf("with coalescing frames (%d) should be below messages (%d)",
+			on.FramesSent, on.MsgsSent)
+	}
+	offRate := float64(off.FramesSent) / float64(off.Ops)
+	onRate := float64(on.FramesSent) / float64(on.Ops)
+	if onRate >= offRate*0.9 {
+		t.Fatalf("coalescing saved too little: %.2f frames/op vs %.2f baseline", onRate, offRate)
+	}
+	// The messages the protocol needs per op do not change materially.
+	offMsgs := float64(off.MsgsSent) / float64(off.Ops)
+	onMsgs := float64(on.MsgsSent) / float64(on.Ops)
+	if onMsgs > offMsgs*1.2 || onMsgs < offMsgs*0.8 {
+		t.Fatalf("msgs/op moved with coalescing: %.2f vs %.2f", onMsgs, offMsgs)
+	}
+}

@@ -38,8 +38,10 @@ type Network struct {
 	blocked func(a, b proto.NodeID) bool
 	deliver func(to proto.NodeID, from proto.NodeID, msg any, bytes int)
 
-	// Counters for bandwidth accounting.
-	Sent, Dropped, Duplicated uint64
+	// Counters for bandwidth accounting. Sent counts wire frames (a
+	// coalesced frame is one); Msgs counts protocol messages, so with
+	// coalescing enabled Msgs ≥ Sent and their ratio is the mean batch size.
+	Sent, Msgs, Dropped, Duplicated uint64
 }
 
 // NewNetwork builds a network; deliver is invoked at arrival time.
@@ -55,6 +57,11 @@ func (n *Network) SetPartition(blocked func(a, b proto.NodeID) bool) { n.blocked
 // delay for large objects.
 func (n *Network) Send(from, to proto.NodeID, msg any, bytes int) {
 	n.Sent++
+	if cf, ok := msg.(coalescedFrame); ok {
+		n.Msgs += uint64(len(cf.msgs))
+	} else {
+		n.Msgs++
+	}
 	if n.blocked != nil && n.blocked(from, to) {
 		n.Dropped++
 		return

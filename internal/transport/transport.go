@@ -31,24 +31,56 @@ type Mesh struct {
 	wg      sync.WaitGroup
 }
 
-// DefaultLinkConfig applies the paper's credit discipline.
+// DefaultLinkConfig applies the paper's credit discipline: responses repay
+// implicitly; only one-way traffic (VALs) is paid back by explicit credit
+// frames. Granting for implicitly-repaid requests too would return every
+// credit twice.
 func DefaultLinkConfig() wings.LinkConfig {
 	return wings.LinkConfig{
 		Credits:       1024,
 		ExplicitEvery: 64,
-		IsResponse: func(m any) bool {
-			// A shard-tagged response repays credit the same as a bare one:
-			// the envelope is routing, not flow-control semantics.
-			if sm, ok := m.(proto.ShardMsg); ok {
-				m = sm.Msg
-			}
-			switch m.(type) {
-			case core.ACK, core.MCheckAck, core.ChunkResp:
-				return true
-			}
-			return false
-		},
+		IsResponse:    isResponse,
+		IsOneWay:      isOneWay,
 	}
+}
+
+// isOneWay marks credit-consuming messages that draw no response: VALs,
+// bare or shard-tagged, and coalesced batches containing them. (The
+// coalescer keeps credit classes apart, so a non-response batch is a VAL
+// batch; it consumed exactly one credit, and counts once.) Requests that a
+// response will repay — INVs, MChecks, ChunkReqs — are deliberately
+// excluded. A request dropped without a response (stale epoch during
+// reconfiguration) leaks its credit until the connection is rebuilt, which
+// node failure — the common cause of epoch change — does anyway.
+func isOneWay(m any) bool {
+	if sb, ok := m.(proto.ShardBatch); ok {
+		return !isResponse(sb)
+	}
+	if sm, ok := m.(proto.ShardMsg); ok {
+		m = sm.Msg
+	}
+	_, val := m.(core.VAL)
+	return val
+}
+
+// isResponse implements the credit discipline's response classification. A
+// shard-tagged response repays credit the same as a bare one: the envelope
+// is routing, not flow-control semantics. A coalesced batch is a response —
+// and consumes no send credit — only when every inner message is one; wings
+// counts the inner responses individually for implicit repayment.
+func isResponse(m any) bool {
+	if sb, ok := m.(proto.ShardBatch); ok {
+		for _, sm := range sb.Msgs {
+			if !isResponse(sm.Msg) {
+				return false
+			}
+		}
+		return len(sb.Msgs) > 0
+	}
+	if sm, ok := m.(proto.ShardMsg); ok {
+		m = sm.Msg
+	}
+	return core.IsResponseMsg(m)
 }
 
 // NewMesh starts a mesh node listening on addrs[self].
@@ -121,7 +153,12 @@ func (m *Mesh) serveConn(conn net.Conn) {
 	}
 	conn.SetReadDeadline(time.Time{})
 	from := proto.NodeID(hello[0])
-	l := wings.NewLink(conn, m.cfg)
+	// This link only ever writes credit frames; responses read here repaid
+	// credits that the *outbound* link to the peer spent, so route them
+	// there (looked up per repayment — it survives reconnects).
+	cfg := m.cfg
+	cfg.CreditReturn = func(n int) { m.repayCredits(from, n) }
+	l := wings.NewLink(conn, cfg)
 	l.Serve(conn, func(msg any) {
 		m.mu.Lock()
 		fn := m.deliver
@@ -157,7 +194,11 @@ func (m *Mesh) link(to proto.NodeID) *wings.Link {
 		conn.Close()
 		return nil
 	}
-	l := wings.NewLink(conn, m.cfg)
+	cfg := m.cfg
+	// Route repayments through the mesh here too: after a reconnect the
+	// registered outbound link may be a newer one than this.
+	cfg.CreditReturn = func(n int) { m.repayCredits(to, n) }
+	l := wings.NewLink(conn, cfg)
 	// Outbound connections also carry return traffic (credit frames).
 	m.wg.Add(1)
 	go func() {
@@ -188,6 +229,20 @@ func (m *Mesh) link(to proto.NodeID) *wings.Link {
 	m.links[to] = l
 	m.mu.Unlock()
 	return l
+}
+
+// repayCredits routes n implicit credit repayments to the outbound link for
+// peer — the link whose Sends spent them — regardless of which connection
+// the responses arrived on. With no outbound link (nothing was spent, or it
+// died) the repayment is moot and dropped; a fresh link starts with a full
+// window anyway.
+func (m *Mesh) repayCredits(peer proto.NodeID, n int) {
+	m.mu.Lock()
+	l := m.links[peer]
+	m.mu.Unlock()
+	if l != nil {
+		l.RepayCredits(n)
+	}
 }
 
 // Send implements cluster.Transport.

@@ -1,0 +1,161 @@
+package wings
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// The coalesced ShardBatch envelope must round-trip through the frame
+// codec: cross-shard ACK coalescing has to survive the TCP wire.
+func TestShardBatchEncodeDecodeRoundTrip(t *testing.T) {
+	batches := []proto.ShardBatch{
+		{Msgs: []proto.ShardMsg{
+			{Shard: 0, Msg: core.ACK{Epoch: 1, Key: 2, TS: proto.TS{Version: 3, CID: 1}}},
+		}},
+		{Msgs: []proto.ShardMsg{
+			{Shard: 0, Msg: core.ACK{Epoch: 7, Key: 42, TS: proto.TS{Version: 9, CID: 3}}},
+			{Shard: 3, Msg: core.VAL{Epoch: 7, Key: 43, TS: proto.TS{Version: 2, CID: 1}}},
+			{Shard: 65535, Msg: core.ACK{Epoch: 7, Key: 44, TS: proto.TS{Version: 1}}},
+		}},
+		{Msgs: []proto.ShardMsg{
+			// A batch may carry value-bearing messages too; the coalescer
+			// just does not choose to today.
+			{Shard: 1, Msg: core.INV{Epoch: 2, Key: 5, TS: proto.TS{Version: 4}, Value: proto.Value("v"), RMW: true}},
+			{Shard: 2, Msg: core.ACK{Epoch: 2, Key: 5, TS: proto.TS{Version: 4}}},
+		}},
+	}
+	for _, b := range batches {
+		frame, err := Encode(b)
+		if err != nil {
+			t.Fatalf("encode batch of %d: %v", len(b.Msgs), err)
+		}
+		out, err := DecodeOne(frame)
+		if err != nil {
+			t.Fatalf("decode batch of %d: %v", len(b.Msgs), err)
+		}
+		if !reflect.DeepEqual(out, b) {
+			t.Fatalf("round trip:\n got %#v\nwant %#v", out, b)
+		}
+	}
+}
+
+func TestShardBatchRejectsEmptyAndNested(t *testing.T) {
+	if _, err := Encode(proto.ShardBatch{}); err == nil {
+		t.Fatal("encoder accepted an empty batch")
+	}
+	if _, err := Encode(proto.ShardBatch{Msgs: []proto.ShardMsg{
+		{Shard: 1, Msg: proto.ShardMsg{Shard: 2, Msg: core.ACK{}}},
+	}}); err == nil {
+		t.Fatal("encoder accepted a ShardMsg nested in a batch entry")
+	}
+	if _, err := Encode(proto.ShardBatch{Msgs: []proto.ShardMsg{
+		{Shard: 1, Msg: proto.ShardBatch{Msgs: []proto.ShardMsg{{Msg: core.ACK{}}}}},
+	}}); err == nil {
+		t.Fatal("encoder accepted a batch nested in a batch entry")
+	}
+	if _, err := Encode(proto.ShardMsg{Shard: 1, Msg: proto.ShardBatch{
+		Msgs: []proto.ShardMsg{{Msg: core.ACK{}}},
+	}}); err == nil {
+		t.Fatal("encoder accepted a batch nested in a ShardMsg")
+	}
+}
+
+// A hostile frame claiming a nested envelope inside a batch entry must be
+// rejected (unbounded recursion would blow the stack), as must truncations
+// and count overclaims.
+func TestShardBatchDecodeHostile(t *testing.T) {
+	frame, err := Encode(proto.ShardBatch{Msgs: []proto.ShardMsg{
+		{Shard: 1, Msg: core.ACK{Epoch: 1, Key: 2, TS: proto.TS{Version: 3}}},
+		{Shard: 2, Msg: core.ACK{Epoch: 1, Key: 3, TS: proto.TS{Version: 4}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: [4B frame len][2B msg count][1B tShardBatch][4B body len]
+	//         [2B batch count]([2B shard][1B type][4B len][payload])...
+	const body = 6 + 5 // start of the batch body
+	for _, bad := range []uint8{tShard, tShardBatch, tCredit} {
+		f := append([]byte(nil), frame...)
+		f[body+2+2] = bad // first entry's inner type byte
+		if _, err := DecodeOne(f); err == nil {
+			t.Fatalf("decoder accepted nested type %d inside a batch", bad)
+		}
+	}
+	// Count overclaim: more entries promised than present.
+	f := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint16(f[body:], 60000)
+	if _, err := DecodeOne(f); err == nil {
+		t.Fatal("decoder accepted an overclaimed batch count")
+	}
+	// Zero count.
+	f = append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint16(f[body:], 0)
+	if _, err := DecodeOne(f); err == nil {
+		t.Fatal("decoder accepted a zero-count batch")
+	}
+	// Every truncation of the payload fails cleanly, never panics.
+	for cut := 1; cut < len(frame)-6; cut++ {
+		if _, err := DecodeOne(frame[:len(frame)-cut]); err == nil {
+			t.Fatalf("truncated batch (-%d bytes) decoded without error", cut)
+		}
+	}
+}
+
+// A link-level send of a batch debits ONE credit for the whole frame, and a
+// received batch of responses repays one credit per inner response — the
+// coalesced credit discipline.
+func TestShardBatchCreditAccounting(t *testing.T) {
+	isResp := func(m any) bool {
+		if sb, ok := m.(proto.ShardBatch); ok {
+			for _, sm := range sb.Msgs {
+				if _, ack := sm.Msg.(core.ACK); !ack {
+					return false
+				}
+			}
+			return len(sb.Msgs) > 0
+		}
+		if sm, ok := m.(proto.ShardMsg); ok {
+			m = sm.Msg
+		}
+		_, ack := m.(core.ACK)
+		return ack
+	}
+	cfg := LinkConfig{Credits: 8, IsResponse: isResp}
+	a, b, recvA, recvB, done := pipePair(t, cfg)
+	defer done()
+
+	// Spend 6 credits on tagged INVs.
+	for i := 0; i < 6; i++ {
+		sm := proto.ShardMsg{Shard: uint16(i % 3), Msg: core.INV{Epoch: 1, Key: proto.Key(i), TS: proto.TS{Version: 1}}}
+		if err := a.Send(sm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		<-recvB
+	}
+	// One coalesced batch of 6 ACKs repays all 6 — and, being all
+	// responses, consumes no credit at b.
+	batch := proto.ShardBatch{Msgs: make([]proto.ShardMsg, 6)}
+	for i := range batch.Msgs {
+		batch.Msgs[i] = proto.ShardMsg{Shard: uint16(i % 3), Msg: core.ACK{Epoch: 1, Key: proto.Key(i), TS: proto.TS{Version: 1}}}
+	}
+	if err := b.Send(batch); err != nil {
+		t.Fatal(err)
+	}
+	<-recvA
+	if st := a.Stats(); st.ImplicitCreditsRecovered != 6 {
+		t.Fatalf("batch of 6 ACKs repaid %d credits, want 6", st.ImplicitCreditsRecovered)
+	}
+	if st := b.Stats(); st.CoalescedSent != 6 || st.MsgsSent != 1 {
+		t.Fatalf("batch sender stats: coalesced=%d msgs=%d, want 6 and 1",
+			st.CoalescedSent, st.MsgsSent)
+	}
+	if st := a.Stats(); st.CoalescedRecv != 6 {
+		t.Fatalf("batch receiver saw %d coalesced, want 6", st.CoalescedRecv)
+	}
+}

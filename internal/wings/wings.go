@@ -47,6 +47,11 @@ const (
 	// proto.ShardMsg envelope of the multi-worker engine. Payload:
 	// [2B shard][1B inner type][4B inner length][inner payload].
 	tShard
+	// tShardBatch coalesces shard-tagged small messages from many shard
+	// engines into one frame under one flow-control credit — the
+	// proto.ShardBatch envelope. Payload:
+	// [2B count] then per entry [2B shard][1B inner type][4B len][payload].
+	tShardBatch
 )
 
 // maxFrame bounds a frame's size (defense against corrupt streams).
@@ -102,7 +107,7 @@ func appendMsg(buf []byte, msg any) ([]byte, error) {
 		}
 	case proto.ShardMsg:
 		t = tShard
-		if _, nested := m.Msg.(proto.ShardMsg); nested {
+		if nestedEnvelope(m.Msg) {
 			return nil, fmt.Errorf("wings: nested ShardMsg")
 		}
 		buf = binary.LittleEndian.AppendUint16(buf, m.Shard)
@@ -111,12 +116,39 @@ func appendMsg(buf []byte, msg any) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+	case proto.ShardBatch:
+		t = tShardBatch
+		if len(m.Msgs) == 0 || len(m.Msgs) > 0xFFFF {
+			return nil, fmt.Errorf("wings: ShardBatch of %d messages", len(m.Msgs))
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Msgs)))
+		for _, sm := range m.Msgs {
+			if nestedEnvelope(sm.Msg) {
+				return nil, fmt.Errorf("wings: nested envelope in ShardBatch")
+			}
+			buf = binary.LittleEndian.AppendUint16(buf, sm.Shard)
+			var err error
+			buf, err = appendMsg(buf, sm.Msg)
+			if err != nil {
+				return nil, err
+			}
+		}
 	default:
 		return nil, fmt.Errorf("wings: cannot encode %T", msg)
 	}
 	buf[start] = t
 	binary.LittleEndian.PutUint32(buf[start+1:], uint32(len(buf)-start-5))
 	return buf, nil
+}
+
+// nestedEnvelope reports whether msg is itself a routing envelope; the
+// encoders wrap exactly one level.
+func nestedEnvelope(msg any) bool {
+	switch msg.(type) {
+	case proto.ShardMsg, proto.ShardBatch:
+		return true
+	}
+	return false
 }
 
 func appendEpochKeyTS(buf []byte, epoch uint32, key proto.Key, ts proto.TS) []byte {
@@ -235,31 +267,34 @@ func decodeMsg(t uint8, body []byte) (any, error) {
 		}
 		msg = m
 	case tShard:
-		shard := r.u16()
-		if r.err != nil {
-			return nil, r.err
-		}
-		if r.off+5 > len(r.b) {
-			return nil, io.ErrUnexpectedEOF
-		}
-		it := r.b[r.off]
-		// The encoder wraps exactly one level; a nested tShard only occurs
-		// in a corrupt or hostile stream, and recursing on it unboundedly
-		// would let a 16 MB frame blow the stack.
-		if it == tShard || it == tCredit {
-			return nil, ErrUnknownType
-		}
-		n := int(binary.LittleEndian.Uint32(r.b[r.off+1:]))
-		r.off += 5
-		if n < 0 || r.off+n > len(r.b) {
-			return nil, io.ErrUnexpectedEOF
-		}
-		inner, err := decodeMsg(it, r.b[r.off:r.off+n])
+		sm, err := decodeTagged(r)
 		if err != nil {
 			return nil, err
 		}
-		r.off += n
-		msg = proto.ShardMsg{Shard: shard, Msg: inner}
+		msg = sm
+	case tShardBatch:
+		count := int(r.u16())
+		if r.err != nil {
+			return nil, r.err
+		}
+		if count == 0 {
+			return nil, fmt.Errorf("wings: empty ShardBatch")
+		}
+		// Every entry takes at least 7 bytes (shard + type + length); a
+		// hostile count larger than the body can hold must not drive the
+		// preallocation.
+		if count > (len(r.b)-r.off)/7 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		b := proto.ShardBatch{Msgs: make([]proto.ShardMsg, 0, count)}
+		for i := 0; i < count; i++ {
+			sm, err := decodeTagged(r)
+			if err != nil {
+				return nil, err
+			}
+			b.Msgs = append(b.Msgs, sm)
+		}
+		msg = b
 	default:
 		return nil, ErrUnknownType
 	}
@@ -267,6 +302,36 @@ func decodeMsg(t uint8, body []byte) (any, error) {
 		return nil, r.err
 	}
 	return msg, nil
+}
+
+// decodeTagged parses one [2B shard][1B type][4B len][payload] entry — the
+// body of a tShard message and the element of a tShardBatch.
+func decodeTagged(r *reader) (proto.ShardMsg, error) {
+	shard := r.u16()
+	if r.err != nil {
+		return proto.ShardMsg{}, r.err
+	}
+	if r.off+5 > len(r.b) {
+		return proto.ShardMsg{}, io.ErrUnexpectedEOF
+	}
+	it := r.b[r.off]
+	// The encoders wrap exactly one level; a nested envelope only occurs in
+	// a corrupt or hostile stream, and recursing on it unboundedly would let
+	// a 16 MB frame blow the stack.
+	if it == tShard || it == tShardBatch || it == tCredit {
+		return proto.ShardMsg{}, ErrUnknownType
+	}
+	n := int(binary.LittleEndian.Uint32(r.b[r.off+1:]))
+	r.off += 5
+	if n < 0 || r.off+n > len(r.b) {
+		return proto.ShardMsg{}, io.ErrUnexpectedEOF
+	}
+	inner, err := decodeMsg(it, r.b[r.off:r.off+n])
+	if err != nil {
+		return proto.ShardMsg{}, err
+	}
+	r.off += n
+	return proto.ShardMsg{Shard: shard, Msg: inner}, nil
 }
 
 // Stats counts link-level events.
@@ -277,6 +342,13 @@ type Stats struct {
 	CreditStalls             uint64 // sends that waited for credits
 	ExplicitCreditsSent      uint64
 	ImplicitCreditsRecovered uint64
+	// CoalescedSent/CoalescedRecv count the inner messages carried inside
+	// ShardBatch envelopes; the envelope itself counts once in MsgsSent or
+	// MsgsRecv, matching its single flow-control credit.
+	CoalescedSent, CoalescedRecv uint64
+	// CreditsRefunded counts credits returned on Send error paths (link
+	// closed while waiting, or encode failure after the debit).
+	CreditsRefunded uint64
 }
 
 // LinkConfig tunes one peer link.
@@ -285,13 +357,29 @@ type LinkConfig struct {
 	// control.
 	Credits int
 	// ExplicitEvery makes the receiver grant an explicit credit update
-	// after that many received messages (for one-way traffic). 0 disables.
+	// after that many received one-way messages (see IsOneWay). 0 disables.
 	ExplicitEvery int
+	// IsOneWay marks credit-consuming messages that never draw a response
+	// (e.g. a VAL, or a coalesced batch of them): only those count toward
+	// ExplicitEvery. Requests like INVs are excluded — their responses
+	// repay them implicitly, and granting for them too would repay every
+	// credit twice, collapsing the flow-control window into a no-op. Nil
+	// counts every received message (correct only when nothing is repaid
+	// implicitly).
+	IsOneWay func(msg any) bool
 	// IsResponse marks message types that implicitly return one credit to
 	// the peer that sent the request (e.g. an ACK repays an INV). Responses
 	// do not consume send credits themselves: the requester reserved their
-	// buffer space when it spent a credit on the request.
+	// buffer space when it spent a credit on the request. A ShardBatch is a
+	// response (consumes no credit) only when every inner message is one;
+	// on receive each inner response repays one credit individually.
 	IsResponse func(msg any) bool
+	// CreditReturn, when set, receives implicit credit repayments instead
+	// of this link. A TCP mesh sets it so that a response arriving on an
+	// inbound-only connection repays the outbound link that actually spent
+	// the credit (see transport.Mesh); nil keeps repayments local, which is
+	// correct when one link both sends and receives.
+	CreditReturn func(n int)
 }
 
 // Link is one flow-controlled, batching connection to a peer.
@@ -304,8 +392,12 @@ type Link struct {
 	nPending int
 	credits  int
 	closed   bool
-	w        *bufio.Writer
 	flushing bool
+
+	// wmu serializes socket writes. It is never held together with mu, so a
+	// slow peer stalls only the flusher — Sends with credits keep queueing.
+	wmu sync.Mutex
+	w   *bufio.Writer // guarded by wmu
 
 	recvSinceCredit int
 	stats           Stats
@@ -321,10 +413,12 @@ func NewLink(w io.Writer, cfg LinkConfig) *Link {
 }
 
 // Send encodes msg and queues it; it ships in the next batch. Blocks only
-// when flow-control credits are exhausted.
+// when flow-control credits are exhausted. A ShardBatch costs one credit
+// for the whole coalesced frame — that is the point of coalescing.
 func (l *Link) Send(msg any) error {
+	needsCredit := l.cfg.Credits > 0 && !(l.cfg.IsResponse != nil && l.cfg.IsResponse(msg))
 	l.mu.Lock()
-	if l.cfg.Credits > 0 && !(l.cfg.IsResponse != nil && l.cfg.IsResponse(msg)) {
+	if needsCredit {
 		stalled := false
 		for l.credits <= 0 && !l.closed {
 			stalled = true
@@ -333,19 +427,35 @@ func (l *Link) Send(msg any) error {
 		if stalled {
 			l.bumpStat(func(s *Stats) { s.CreditStalls++ })
 		}
-		l.credits--
 	}
 	if l.closed {
+		// No debit happened (or the closed-wakeup interrupted the wait
+		// before one): nothing to refund.
 		l.mu.Unlock()
 		return errors.New("wings: link closed")
 	}
-	var err error
-	l.pending, err = appendMsg(l.pending, msg)
+	if needsCredit {
+		l.credits--
+	}
+	// appendMsg returns nil on error: keep the old buffer so an encode
+	// failure cannot wipe messages already queued by other senders.
+	encoded, err := appendMsg(l.pending, msg)
 	if err != nil {
+		if needsCredit {
+			// The message never shipped; give the credit back so the window
+			// does not shrink permanently on encode errors.
+			l.credits++
+			l.bumpStat(func(s *Stats) { s.CreditsRefunded++ })
+			l.sendCond.Signal()
+		}
 		l.mu.Unlock()
 		return err
 	}
+	l.pending = encoded
 	l.nPending++
+	if sb, ok := msg.(proto.ShardBatch); ok {
+		l.bumpStat(func(s *Stats) { s.CoalescedSent += uint64(len(sb.Msgs)) })
+	}
 	l.kickLocked()
 	l.mu.Unlock()
 	return nil
@@ -378,11 +488,8 @@ func (l *Link) flushLoop() {
 		var hdr [6]byte
 		binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)+2))
 		binary.LittleEndian.PutUint16(hdr[4:], uint16(count))
-		l.mu.Lock()
-		_, err1 := l.w.Write(hdr[:])
-		_, err2 := l.w.Write(body)
-		err3 := l.w.Flush()
-		l.mu.Unlock()
+		// Count the frame before shipping it so a peer that has received the
+		// messages can never observe sender stats that miss them.
 		l.bumpStat(func(s *Stats) {
 			s.FramesSent++
 			s.MsgsSent += uint64(count)
@@ -390,6 +497,14 @@ func (l *Link) flushLoop() {
 				s.BatchedMsgs += uint64(count)
 			}
 		})
+		// Socket I/O happens under wmu, not mu: a slow peer must not stall
+		// Sends that still have credits — they keep piling into pending and
+		// ship in the next batch when this write completes.
+		l.wmu.Lock()
+		_, err1 := l.w.Write(hdr[:])
+		_, err2 := l.w.Write(body)
+		err3 := l.w.Flush()
+		l.wmu.Unlock()
 		if err1 != nil || err2 != nil || err3 != nil {
 			l.Close()
 			return
@@ -405,10 +520,10 @@ func (l *Link) sendCreditFrame(n int) {
 	frame[6] = tCredit
 	binary.LittleEndian.PutUint32(frame[7:], 2)
 	binary.LittleEndian.PutUint16(frame[11:], uint16(n))
-	l.mu.Lock()
+	l.wmu.Lock()
 	l.w.Write(frame[:])
 	l.w.Flush()
-	l.mu.Unlock()
+	l.wmu.Unlock()
 	l.bumpStat(func(s *Stats) { s.ExplicitCreditsSent++ })
 }
 
@@ -452,7 +567,12 @@ func (l *Link) Serve(rd io.Reader, fn func(msg any)) error {
 			if err != nil {
 				return err
 			}
-			l.bumpStat(func(s *Stats) { s.MsgsRecv++ })
+			l.bumpStat(func(s *Stats) {
+				s.MsgsRecv++
+				if sb, ok := msg.(proto.ShardBatch); ok {
+					s.CoalescedRecv += uint64(len(sb.Msgs))
+				}
+			})
 			l.onReceive(msg)
 			fn(msg)
 		}
@@ -460,12 +580,18 @@ func (l *Link) Serve(rd io.Reader, fn func(msg any)) error {
 }
 
 // onReceive applies flow-control accounting for an incoming message.
+// Implicit repayments go through cfg.CreditReturn when set — in a TCP mesh
+// the link that spent the credit (the outbound one) is usually not the link
+// the response arrives on.
 func (l *Link) onReceive(msg any) {
-	if l.cfg.IsResponse != nil && l.cfg.IsResponse(msg) {
-		l.addCredits(1)
-		l.bumpStat(func(s *Stats) { s.ImplicitCreditsRecovered++ })
+	if n := l.implicitCredits(msg); n > 0 {
+		if l.cfg.CreditReturn != nil {
+			l.cfg.CreditReturn(n)
+		} else {
+			l.RepayCredits(n)
+		}
 	}
-	if l.cfg.ExplicitEvery > 0 {
+	if l.cfg.ExplicitEvery > 0 && (l.cfg.IsOneWay == nil || l.cfg.IsOneWay(msg)) {
 		l.mu.Lock()
 		l.recvSinceCredit++
 		send := l.recvSinceCredit >= l.cfg.ExplicitEvery
@@ -477,6 +603,39 @@ func (l *Link) onReceive(msg any) {
 			go l.sendCreditFrame(l.cfg.ExplicitEvery)
 		}
 	}
+}
+
+// implicitCredits counts the credit repayments msg carries: one for a plain
+// response, one per response inside a coalesced batch (each inner ACK repays
+// the INV that was sent — and debited — individually).
+func (l *Link) implicitCredits(msg any) int {
+	if l.cfg.IsResponse == nil {
+		return 0
+	}
+	if sb, ok := msg.(proto.ShardBatch); ok {
+		n := 0
+		for _, sm := range sb.Msgs {
+			if l.cfg.IsResponse(sm) {
+				n++
+			}
+		}
+		return n
+	}
+	if l.cfg.IsResponse(msg) {
+		return 1
+	}
+	return 0
+}
+
+// RepayCredits returns n implicitly recovered credits to this link's send
+// window. The mesh calls it on the outbound link when responses arrive on a
+// different connection than the requests left on.
+func (l *Link) RepayCredits(n int) {
+	if n <= 0 {
+		return
+	}
+	l.addCredits(n)
+	l.bumpStat(func(s *Stats) { s.ImplicitCreditsRecovered += uint64(n) })
 }
 
 func (l *Link) addCredits(n int) {
