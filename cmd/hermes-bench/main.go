@@ -8,7 +8,7 @@
 //	hermes-bench -exp fig9 -quick    # reduced scale
 //
 // Experiments: fig5a fig5b fig6a fig6b fig6c fig7 fig8 fig9 table2 shards
-// ablation-o1 ablation-o2 ablation-o3 ablation-nolsc
+// reads ablation-o1 ablation-o2 ablation-o3 ablation-nolsc
 package main
 
 import (
@@ -56,6 +56,8 @@ func main() {
 			func() fmt.Stringer { r := bench.Fig9(sc); return r.Table }},
 		{"shards", "Write-throughput scaling across per-node engine shards, 1->8 workers (§4.1)",
 			func() fmt.Stringer { return bench.ShardScaling(sc) }},
+		{"reads", "LIVE lock-free read fast path: throughput vs client goroutines with hit rate (§4.1)",
+			func() fmt.Stringer { return bench.ReadScaling(sc) }},
 		{"ablation-o1", "O1: VAL elision savings (paper §3.3)",
 			func() fmt.Stringer { return bench.AblationO1(sc) }},
 		{"ablation-o2", "O2: virtual node ID fairness (paper §3.3)",

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/proto"
+	"repro/internal/stats"
+)
+
+// This file measures the LIVE runtime's read path, not the simulator: the
+// point of the lock-free local-read fast path (paper §4.1) is that reads of
+// Valid keys are served on the caller's goroutine without entering the
+// per-shard event loop, so read throughput should scale with client
+// goroutines far beyond the single-event-loop ceiling. The experiment
+// drives one node of a 3-replica in-process group with C closed-loop client
+// goroutines at a 95% read ratio and reports throughput plus the fast-path
+// hit rate taken from the engine's atomic read counters.
+
+// readBenchKeys is the keyspace of the live read benchmark; every key is
+// preloaded so reads hit Valid records rather than the implicit nil state.
+const readBenchKeys = 1024
+
+// readShardCounts and readClientCounts are the two axes of ReadScaling.
+var (
+	readShardCounts  = []int{1, 4, 8}
+	readClientCounts = []int{1, 2, 4, 8, 16}
+)
+
+// ReadPointResult is one measured configuration of the live read workload.
+type ReadPointResult struct {
+	Reads, Writes        uint64
+	Elapsed              time.Duration
+	FastHits, FastMisses uint64
+}
+
+// ReadTput returns read completions per second of wall-clock time.
+func (r ReadPointResult) ReadTput() float64 {
+	return float64(r.Reads) / r.Elapsed.Seconds()
+}
+
+// HitRate returns the fraction of reads served by the lock-free fast path.
+func (r ReadPointResult) HitRate() float64 {
+	if r.Reads == 0 {
+		return 0
+	}
+	return float64(r.FastHits) / float64(r.Reads)
+}
+
+// RunReadPoint stands up a live 3-replica, W-shard in-process group and
+// drives node 0 with `clients` closed-loop goroutines for roughly dur,
+// mixing reads and writes at readRatio over a preloaded keyspace.
+func RunReadPoint(shards, clients int, readRatio float64, dur time.Duration, noLSC bool) ReadPointResult {
+	grp := cluster.NewShardedLocal(cluster.LocalConfig{N: 3, NoLSC: noLSC}, shards)
+	defer grp.Close()
+	ctx := context.Background()
+	node := grp.Nodes[0]
+
+	// Preload every key (in parallel: writes commit in ~one in-process
+	// round trip each) so timed reads land on Valid records.
+	var pre sync.WaitGroup
+	const loaders = 8
+	for i := 0; i < loaders; i++ {
+		pre.Add(1)
+		go func(i int) {
+			defer pre.Done()
+			for k := i; k < readBenchKeys; k += loaders {
+				if err := node.Write(ctx, proto.Key(k), proto.Value("seed-value")); err != nil {
+					panic(fmt.Sprintf("bench: preload write: %v", err))
+				}
+			}
+		}(i)
+	}
+	pre.Wait()
+
+	_, hits0, misses0 := node.ReadStats()
+	var reads, writes atomic.Uint64
+	var wg sync.WaitGroup
+	val := proto.Value("live-read-bench-32-byte-payload!")
+	start := time.Now()
+	deadline := start.Add(dur)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; ; i++ {
+				// Check the clock every few ops, not every op: the
+				// deadline probe must stay negligible next to a ~100ns
+				// fast-path read.
+				if i&63 == 0 && !time.Now().Before(deadline) {
+					return
+				}
+				k := proto.Key(rng.Uint64() % readBenchKeys)
+				if rng.Float64() < readRatio {
+					if _, err := node.Read(ctx, k); err != nil {
+						panic(fmt.Sprintf("bench: read: %v", err))
+					}
+					reads.Add(1)
+				} else {
+					if err := node.Write(ctx, k, val); err != nil {
+						panic(fmt.Sprintf("bench: write: %v", err))
+					}
+					writes.Add(1)
+				}
+			}
+		}(int64(c) + 1)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	_, hits1, misses1 := node.ReadStats()
+	return ReadPointResult{
+		Reads:      reads.Load(),
+		Writes:     writes.Load(),
+		Elapsed:    elapsed,
+		FastHits:   hits1 - hits0,
+		FastMisses: misses1 - misses0,
+	}
+}
+
+// readBenchDur maps the bench scale to a wall-clock measurement window per
+// point (this is a live benchmark; the sim scales don't apply directly).
+func readBenchDur(sc Scale) time.Duration {
+	return 10 * sc.Duration // Quick: 40ms/point, Full: 200ms/point
+}
+
+// ReadScaling measures live read throughput of one node of a 3-replica
+// group as client goroutines grow, at 1/4/8 engine shards, read ratio 0.95.
+// With the lock-free fast path, read throughput scales with the client
+// count (until the host runs out of cores) because Valid reads never enter
+// a shard event loop; hit% reports the fraction of reads the fast path
+// served. The speedup column is within one shard count, relative to one
+// client.
+func ReadScaling(sc Scale) *stats.Table {
+	t := &stats.Table{Header: []string{
+		"shards", "clients", "reads/s(M)", "speedup", "hit%", "writes/s(K)",
+	}}
+	dur := readBenchDur(sc)
+	for _, w := range readShardCounts {
+		var base float64
+		for _, c := range readClientCounts {
+			r := RunReadPoint(w, c, 0.95, dur, false)
+			tput := r.ReadTput()
+			if c == readClientCounts[0] {
+				base = tput
+			}
+			t.AddRow(w, c, Mops(tput),
+				fmt.Sprintf("%.2fx", tput/base),
+				fmt.Sprintf("%.1f", 100*r.HitRate()),
+				fmt.Sprintf("%.0f", float64(r.Writes)/r.Elapsed.Seconds()/1e3))
+		}
+	}
+	return t
+}

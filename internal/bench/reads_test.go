@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// The fast path must serve essentially every read of a preloaded, mostly
+// quiescent keyspace: this is the hit-rate half of the acceptance bar.
+func TestLiveReadFastPathHitRate(t *testing.T) {
+	r := RunReadPoint(4, 4, 1.0, 30*time.Millisecond, false)
+	if r.Reads == 0 {
+		t.Fatal("no reads completed")
+	}
+	if hr := r.HitRate(); hr < 0.9 {
+		t.Fatalf("fast-path hit rate %.3f < 0.9 (hits=%d misses=%d reads=%d)",
+			hr, r.FastHits, r.FastMisses, r.Reads)
+	}
+}
+
+// In NoLSC mode every read must take the §8 speculative Submit path: the
+// fast path is provably disabled (hit rate exactly 0).
+func TestLiveReadFastPathDisabledUnderNoLSC(t *testing.T) {
+	r := RunReadPoint(1, 2, 1.0, 20*time.Millisecond, true)
+	if r.Reads == 0 {
+		t.Fatal("no reads completed")
+	}
+	if r.FastHits != 0 {
+		t.Fatalf("NoLSC: %d fast-path hits, want 0", r.FastHits)
+	}
+}
+
+// Read throughput must scale with client goroutines well beyond what one
+// event loop could serialize — the point of serving Valid reads on the
+// caller's goroutine. The threshold is deliberately below the measured
+// speedup (typically >3x on 8 clients) to stay robust on loaded CI hosts.
+func TestLiveReadScalingBeyondEventLoop(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >=4 CPUs to observe parallel read scaling, have %d", runtime.NumCPU())
+	}
+	r1 := RunReadPoint(4, 1, 0.95, 40*time.Millisecond, false)
+	r8 := RunReadPoint(4, 8, 0.95, 40*time.Millisecond, false)
+	if r1.Reads == 0 || r8.Reads == 0 {
+		t.Fatalf("no reads completed: %d / %d", r1.Reads, r8.Reads)
+	}
+	if s := r8.ReadTput() / r1.ReadTput(); s < 1.5 {
+		t.Fatalf("8 clients only %.2fx the read throughput of 1 (want >=1.5x): %.0f vs %.0f reads/s",
+			s, r8.ReadTput(), r1.ReadTput())
+	}
+}

@@ -9,8 +9,10 @@
 // Architecture: each replica runs one event-loop goroutine that owns the
 // protocol state machine (Submit/Deliver/Tick/OnViewChange are never called
 // concurrently). Local linearizable reads take the HermesKV fast path
-// (§4.1): they consult the shared kvs.Store directly and only enter the
-// event loop when the key is not Valid.
+// (§4.1): gated by core.ReadGate they consult the shared kvs.Store directly
+// on the caller's goroutine, and only enter the event loop when the key is
+// not Valid, the gate is shut (view installation in flight, non-serving
+// replica) or NoLSC mode demands the §8 speculative path.
 package cluster
 
 import (
@@ -141,8 +143,6 @@ type Node struct {
 	mu      sync.Mutex
 	waiters map[uint64]chan proto.Completion
 
-	noLSC bool
-	oper  atomic.Bool // mirrors membership state for the lock-free read path
 	start time.Time
 }
 
@@ -191,14 +191,12 @@ func NewNode(cfg NodeConfig, tr Transport) *Node {
 		msgs:    make(chan env, 8192),
 		stop:    make(chan struct{}),
 		waiters: make(map[uint64]chan proto.Completion),
-		noLSC:   cfg.NoLSC,
 		start:   time.Now(),
 	}
 	n.h = core.New(core.Config{
 		ID: cfg.ID, View: cfg.View, Env: nodeEnv{n: n}, Store: st,
 		MLT: cfg.MLT, ElideVAL: cfg.ElideVAL, EarlyACKs: cfg.EarlyACKs, NoLSC: cfg.NoLSC,
 	})
-	n.oper.Store(true)
 	tr.SetDeliver(cfg.ID, func(from proto.NodeID, msg any) {
 		select {
 		case n.msgs <- env{from: from, msg: msg}:
@@ -238,12 +236,15 @@ func (n *Node) ID() proto.NodeID { return n.id }
 // Hermes exposes the protocol instance (metrics, view).
 func (n *Node) Hermes() *core.Hermes { return n.h }
 
-// InstallView delivers an m-update to the replica.
+// InstallView delivers an m-update to the replica. The lock-free read gate
+// is shut before the m-update enters the event loop, so fast-path reads
+// fall back to the Submit path for the entire transition window;
+// OnViewChange republishes the gate under the new epoch.
 func (n *Node) InstallView(v proto.View) {
+	n.h.ReadGate().Shut()
 	done := make(chan struct{})
 	n.enqueueFn(func() { n.h.OnViewChange(v); close(done) })
 	<-done
-	n.oper.Store(v.Contains(n.id))
 }
 
 // enqueueFn runs fn on the event loop by disguising it as a message.
@@ -270,19 +271,29 @@ func (n *Node) Close() {
 // ErrClosed reports an operation on a stopped node.
 var ErrClosed = errors.New("cluster: node closed")
 
-// Read performs a linearizable read. Valid keys are served lock-free from
-// the store (the HermesKV fast path); otherwise the op goes through the
-// event loop and stalls until the key validates.
+// Read performs a linearizable read. When the replica's read gate is open
+// and the key is Valid, the read is served entirely on the caller's
+// goroutine — one atomic gate load and one lock-free store lookup, never
+// touching the event loop (the HermesKV fast path, §4.1). Otherwise —
+// non-Valid key, NoLSC mode (the fast path must not bypass the §8
+// membership proof), an in-flight view installation, or a non-serving
+// replica — the op goes through the event loop and stalls until the key
+// validates.
 func (n *Node) Read(ctx context.Context, key proto.Key) (proto.Value, error) {
-	// The fast path must not bypass the §8 membership proof under NoLSC.
-	if e, ok := n.store.Get(key); ok && e.State.Readable() && n.oper.Load() && !n.noLSC {
-		return e.Value, nil
+	if v, ok := n.h.ReadLocal(key); ok {
+		return v, nil
 	}
 	c, err := n.do(ctx, proto.ClientOp{Kind: proto.OpRead, Key: key})
 	if err != nil {
 		return nil, err
 	}
 	return c.Value, nil
+}
+
+// ReadStats reports the node's read-side counters (total reads, fast-path
+// hits, fast-path fallbacks); safe to call concurrently with traffic.
+func (n *Node) ReadStats() (reads, fastHits, fastMisses uint64) {
+	return n.h.ReadStats()
 }
 
 // Write performs a linearizable write.
@@ -330,27 +341,42 @@ var ErrAborted = errors.New("cluster: rmw aborted by concurrent update")
 // ErrNotOperational reports a replica without a valid membership lease.
 var ErrNotOperational = errors.New("cluster: replica not operational")
 
+// completionChPool recycles the slow path's single-use completion channels:
+// one Get/Put per op instead of one allocation per op. A channel may only be
+// returned once it is provably empty and unreachable from the completer.
+var completionChPool = sync.Pool{
+	New: func() any { return make(chan proto.Completion, 1) },
+}
+
 func (n *Node) do(ctx context.Context, op proto.ClientOp) (proto.Completion, error) {
 	op.ID = n.nextOp.Add(1)
-	ch := make(chan proto.Completion, 1)
+	ch := completionChPool.Get().(chan proto.Completion)
 	n.mu.Lock()
 	n.waiters[op.ID] = ch
 	n.mu.Unlock()
 	select {
 	case n.ops <- op:
 	case <-ctx.Done():
+		// The op never reached the event loop, so no Completion can ever
+		// be sent on ch: pooling it back after forget is safe.
 		n.forget(op.ID)
+		completionChPool.Put(ch)
 		return proto.Completion{}, ctx.Err()
 	case <-n.stop:
 		return proto.Completion{}, ErrClosed
 	}
 	select {
 	case c := <-ch:
+		// The one send this op can produce has been drained; ch is empty.
+		completionChPool.Put(ch)
 		if c.Status == proto.NotOperational {
 			return c, ErrNotOperational
 		}
 		return c, nil
 	case <-ctx.Done():
+		// NOT pooled: a racing Complete may have already taken ch out of
+		// the waiter map and be about to send on it; reusing the channel
+		// could deliver that stale completion to an unrelated op.
 		n.forget(op.ID)
 		return proto.Completion{}, ctx.Err()
 	case <-n.stop:

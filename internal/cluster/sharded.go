@@ -331,9 +331,23 @@ func (sn *ShardedNode) shardFor(key proto.Key) *Node {
 }
 
 // Read performs a linearizable read via the owning shard; Valid keys are
-// served lock-free from that shard's store segment.
+// served lock-free from that shard's store segment on the caller's
+// goroutine, subject to the shard engine's read gate.
 func (sn *ShardedNode) Read(ctx context.Context, key proto.Key) (proto.Value, error) {
 	return sn.shardFor(key).Read(ctx, key)
+}
+
+// ReadStats sums the shard engines' read-side counters (total reads,
+// fast-path hits, fast-path fallbacks); safe to call concurrently with
+// traffic.
+func (sn *ShardedNode) ReadStats() (reads, fastHits, fastMisses uint64) {
+	for _, s := range sn.shards {
+		r, h, m := s.ReadStats()
+		reads += r
+		fastHits += h
+		fastMisses += m
+	}
+	return reads, fastHits, fastMisses
 }
 
 // Write performs a linearizable write via the owning shard.

@@ -19,6 +19,7 @@ package core
 import (
 	"bytes"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/kvs"
@@ -68,7 +69,11 @@ type Config struct {
 	Rand *rand.Rand
 }
 
-// Metrics counts protocol events; the ablation benches read them.
+// Metrics counts protocol events; the ablation benches read them. The
+// read-side fields (Reads, StalledReads, FastPathReads, FastPathMisses) are
+// backed by atomics so both the event loop and fast-path caller goroutines
+// can bump them; everything else is event-loop-private, so Metrics must be
+// read at quiescence for those fields to be exact.
 type Metrics struct {
 	Reads, Writes, RMWs     uint64 // client ops submitted
 	INVsSent, ACKsSent      uint64
@@ -79,6 +84,8 @@ type Metrics struct {
 	RMWAborts               uint64
 	StaleEpochDrops         uint64
 	StalledReads            uint64 // reads that found the key not Valid
+	FastPathReads           uint64 // reads served lock-free by ReadLocal
+	FastPathMisses          uint64 // ReadLocal fallbacks to the Submit path
 	EarlyValidations        uint64 // O3: validated from ACKs before any VAL
 	MChecks                 uint64 // §8 membership checks issued
 	SpecReadsFlushedByWrite uint64 // §8 reads released by a local commit
@@ -95,6 +102,14 @@ type Hermes struct {
 	rng     *rand.Rand
 	oper    bool // has a valid RM lease; serves client requests
 	metrics Metrics
+
+	// gate is the atomically-published condition for the lock-free read
+	// fast path; the read-side counters beneath it are the Metrics fields
+	// two goroutine classes bump (see ReadLocal). reads counts only
+	// Submit-path reads; the total is reads+fastReads.
+	gate                         ReadGate
+	reads, fastReads, fastMisses atomic.Uint64
+	stalledReads                 atomic.Uint64
 
 	cidOwner   func(uint16) proto.NodeID
 	virtualIDs []uint16
@@ -182,6 +197,7 @@ func New(cfg Config) *Hermes {
 	if h.cidOwner == nil {
 		h.cidOwner = func(cid uint16) proto.NodeID { return proto.NodeID(cid) }
 	}
+	h.publishGate()
 	return h
 }
 
@@ -209,7 +225,14 @@ func (h *Hermes) ID() proto.NodeID { return h.id }
 func (h *Hermes) View() proto.View { return h.view }
 
 // Metrics returns a snapshot of the replica's protocol counters.
-func (h *Hermes) Metrics() Metrics { return h.metrics }
+func (h *Hermes) Metrics() Metrics {
+	m := h.metrics
+	m.FastPathReads = h.fastReads.Load()
+	m.FastPathMisses = h.fastMisses.Load()
+	m.Reads = h.reads.Load() + m.FastPathReads
+	m.StalledReads = h.stalledReads.Load()
+	return m
+}
 
 // Store exposes the underlying record store (the live runtime's lock-free
 // read path and tests read it).
@@ -218,7 +241,10 @@ func (h *Hermes) Store() *kvs.Store { return h.store }
 // SetOperational marks the replica as holding (or not holding) a valid RM
 // lease. Non-operational replicas reject client requests (§2.4: nodes on a
 // minority partition stop serving before the membership is updated).
-func (h *Hermes) SetOperational(ok bool) { h.oper = ok }
+func (h *Hermes) SetOperational(ok bool) {
+	h.oper = ok
+	h.publishGate()
+}
 
 // Operational reports whether the replica currently serves client requests.
 func (h *Hermes) Operational() bool { return h.oper && !h.learner }
@@ -261,7 +287,7 @@ func (h *Hermes) Submit(op proto.ClientOp) {
 	}
 	switch op.Kind {
 	case proto.OpRead:
-		h.metrics.Reads++
+		h.reads.Add(1)
 	case proto.OpWrite:
 		h.metrics.Writes++
 	default:
@@ -276,7 +302,7 @@ func (h *Hermes) Submit(op proto.ClientOp) {
 			return
 		}
 		if op.Kind == proto.OpRead {
-			h.metrics.StalledReads++
+			h.stalledReads.Add(1)
 		}
 		h.stall(op, e)
 		return
@@ -739,6 +765,9 @@ func (h *Hermes) OnViewChange(v proto.View) {
 	// An open membership check is against a dead epoch.
 	h.checkOpen = false
 	h.checkAcks = 0
+	// Reopen (or keep shut) the lock-free read gate under the new epoch;
+	// the live runtime shut it before this m-update entered the event loop.
+	h.publishGate()
 	for k, m := range h.meta {
 		p := m.pend
 		if p == nil {
@@ -889,6 +918,10 @@ func (h *Hermes) onChunkResp(from proto.NodeID, resp ChunkResp) {
 	h.fetchCursor = resp.Cursor
 	if resp.Done {
 		h.fetchDone = true
+		// Republish the read gate at the catch-up transition: still shut
+		// (the learner serves no reads until the promoting m-update), but
+		// the transition is the documented republication point.
+		h.publishGate()
 		if h.onCaughtUp != nil {
 			h.onCaughtUp()
 		}

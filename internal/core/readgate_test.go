@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kvs"
+	"repro/internal/proto"
+)
+
+func TestReadGatePublishedOnConstruction(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	for id, n := range h.nodes {
+		g := n.ReadGate()
+		if !g.Allowed() {
+			t.Fatalf("node %d: gate shut on a fresh operational replica", id)
+		}
+		if g.Epoch() != 1 {
+			t.Fatalf("node %d: gate epoch %d, want 1", id, g.Epoch())
+		}
+	}
+}
+
+func TestReadGateShutForLearnerAndNoLSC(t *testing.T) {
+	learner := New(Config{
+		ID: 9, View: proto.View{Epoch: 1, Members: []proto.NodeID{0}, Learners: []proto.NodeID{9}},
+		Env: &testEnv{h: &harness{done: map[proto.NodeID][]proto.Completion{}}, id: 9}, Learner: true,
+	})
+	if learner.ReadGate().Allowed() {
+		t.Fatal("learner's gate open: fast-path reads on a catching-up shadow replica")
+	}
+	h := newHarness(t, 3, func(c *Config) { c.NoLSC = true })
+	if h.nodes[0].ReadGate().Allowed() {
+		t.Fatal("NoLSC gate open: fast path would bypass the §8 membership proof")
+	}
+	// NoLSC reads must also report as fast-path misses, never hits.
+	if _, ok := h.nodes[0].ReadLocal(1); ok {
+		t.Fatal("ReadLocal served a read in NoLSC mode")
+	}
+	if _, hits, misses := h.nodes[0].ReadStats(); hits != 0 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 0/1", hits, misses)
+	}
+}
+
+func TestReadGateFollowsOperationalAndViewTransitions(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	n := h.nodes[0]
+	n.SetOperational(false)
+	if n.ReadGate().Allowed() {
+		t.Fatal("gate open without an RM lease")
+	}
+	n.SetOperational(true)
+	if !n.ReadGate().Allowed() {
+		t.Fatal("gate shut after the lease came back")
+	}
+	// The live runtime shuts the gate before handing over an m-update;
+	// OnViewChange must reopen it under the new epoch.
+	n.ReadGate().Shut()
+	if n.ReadGate().Allowed() {
+		t.Fatal("Shut did not shut")
+	}
+	n.OnViewChange(proto.View{Epoch: 2, Members: []proto.NodeID{0, 1, 2}})
+	if !n.ReadGate().Allowed() || n.ReadGate().Epoch() != 2 {
+		t.Fatalf("gate after view change: allowed=%v epoch=%d, want open at 2",
+			n.ReadGate().Allowed(), n.ReadGate().Epoch())
+	}
+	// Removal from the membership keeps the gate shut.
+	n.OnViewChange(proto.View{Epoch: 3, Members: []proto.NodeID{1, 2}})
+	if n.ReadGate().Allowed() {
+		t.Fatal("gate open on a replica removed from the view")
+	}
+}
+
+// TestReadGateShutThroughLearnerCatchUp walks a shadow replica through the
+// full §3.4 recovery arc: the gate stays shut while it joins and while it
+// catches up (every ReadLocal reporting a miss), and opens only at the
+// promoting m-update.
+func TestReadGateShutThroughLearnerCatchUp(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	h.write(0, 1, "v")
+	h.run()
+	l := h.addLearner(3)
+	if l.ReadGate().Allowed() {
+		t.Fatal("gate open on a freshly joined learner")
+	}
+	for i := 0; i < 20 && !l.CaughtUp(); i++ {
+		h.advance(15 * time.Millisecond)
+		h.run()
+	}
+	if !l.CaughtUp() {
+		t.Fatal("learner never caught up")
+	}
+	if l.ReadGate().Allowed() {
+		t.Fatal("gate open on a caught-up but unpromoted learner")
+	}
+	if _, ok := l.ReadLocal(1); ok {
+		t.Fatal("ReadLocal served a read on a learner")
+	}
+	if _, hits, misses := l.ReadStats(); hits != 0 || misses == 0 {
+		t.Fatalf("learner hits=%d misses=%d, want 0 hits", hits, misses)
+	}
+	// Promote: full member in the next view.
+	nv := proto.View{Epoch: h.view.Epoch + 1, Members: []proto.NodeID{0, 1, 2, 3}}
+	h.installView(nv)
+	if !l.ReadGate().Allowed() {
+		t.Fatal("gate shut after promotion to serving member")
+	}
+	if v, ok := l.ReadLocal(1); !ok || string(v) != "v" {
+		t.Fatalf("promoted learner fast read: %q %v", v, ok)
+	}
+}
+
+func TestReadLocalServesValidAndRejectsInvalid(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	n := h.nodes[0]
+	n.Store().Update(5, kvs.Entry{Value: proto.Value("v"), TS: proto.TS{Version: 2}, State: kvs.Valid})
+	n.Store().Update(6, kvs.Entry{Value: proto.Value("w"), TS: proto.TS{Version: 2}, State: kvs.Invalid})
+
+	if v, ok := n.ReadLocal(5); !ok || string(v) != "v" {
+		t.Fatalf("valid key: %q %v", v, ok)
+	}
+	if _, ok := n.ReadLocal(6); ok {
+		t.Fatal("ReadLocal served an Invalid key")
+	}
+	// A missing key reads as the store's implicit initial state, as Submit
+	// treats it.
+	if v, ok := n.ReadLocal(7); !ok || v != nil {
+		t.Fatalf("missing key: %q %v", v, ok)
+	}
+	reads, hits, misses := n.ReadStats()
+	if reads != 2 || hits != 2 || misses != 1 {
+		t.Fatalf("reads=%d hits=%d misses=%d, want 2/2/1", reads, hits, misses)
+	}
+	m := n.Metrics()
+	if m.Reads != 2 || m.FastPathReads != 2 || m.FastPathMisses != 1 {
+		t.Fatalf("metrics snapshot %+v disagrees with ReadStats", m)
+	}
+}

@@ -336,11 +336,14 @@ func decodeTagged(r *reader) (proto.ShardMsg, error) {
 
 // Stats counts link-level events.
 type Stats struct {
-	FramesSent, MsgsSent     uint64
-	FramesRecv, MsgsRecv     uint64
-	BatchedMsgs              uint64 // messages that shipped with company
-	CreditStalls             uint64 // sends that waited for credits
-	ExplicitCreditsSent      uint64
+	FramesSent, MsgsSent uint64
+	FramesRecv, MsgsRecv uint64
+	BatchedMsgs          uint64 // messages that shipped with company
+	CreditStalls         uint64 // sends that waited for credits
+	ExplicitCreditsSent  uint64
+	// PiggybackedGrants counts the ExplicitCreditsSent subset that rode an
+	// outgoing data frame instead of paying for a standalone credit frame.
+	PiggybackedGrants        uint64
 	ImplicitCreditsRecovered uint64
 	// CoalescedSent/CoalescedRecv count the inner messages carried inside
 	// ShardBatch envelopes; the envelope itself counts once in MsgsSent or
@@ -393,6 +396,10 @@ type Link struct {
 	credits  int
 	closed   bool
 	flushing bool
+	// pendingGrant holds explicit credits waiting to piggyback on the next
+	// outgoing frame (deferred by onReceive while a flush is in flight
+	// instead of paying for a standalone credit frame).
+	pendingGrant int
 
 	// wmu serializes socket writes. It is never held together with mu, so a
 	// slow peer stalls only the flusher — Sends with credits keep queueing.
@@ -464,35 +471,85 @@ func (l *Link) Send(msg any) error {
 // kickLocked starts the flusher if idle. Batching is opportunistic: while a
 // flush is in flight, further Sends pile into pending and ship together.
 func (l *Link) kickLocked() {
-	if l.flushing || l.nPending == 0 {
+	if l.flushing || (l.nPending == 0 && l.pendingGrant == 0) {
 		return
 	}
 	l.flushing = true
 	go l.flushLoop()
 }
 
+// maxFrameMsgs caps one frame at the header's 2-byte message count, leaving
+// room for a piggybacked credit grant. Credit-exempt responses can pile into
+// pending without bound while a flush is wedged on a slow peer, so an
+// over-full buffer must ship as several frames — truncating the count to
+// uint16 would make the receiver skip the overflowed messages silently.
+const maxFrameMsgs = 0xFFFF - 1
+
 func (l *Link) flushLoop() {
 	for {
 		l.mu.Lock()
-		if l.nPending == 0 || l.closed {
+		grant := l.pendingGrant
+		if grant > 0xFFFF {
+			grant = 0xFFFF // the grant payload is a u16; carry the rest over
+		}
+		if (l.nPending == 0 && grant == 0) || l.closed {
 			l.flushing = false
 			l.mu.Unlock()
 			return
 		}
+		l.pendingGrant -= grant
 		body := l.pending
 		count := l.nPending
-		l.pending = nil
-		l.nPending = 0
+		if count > maxFrameMsgs {
+			// Walk the [1B type][4B len][payload] encoding to the split
+			// point; the remainder stays queued for the next iteration. The
+			// three-index slice keeps the grant append below from clobbering
+			// the retained tail, which shares the backing array.
+			off := 0
+			for i := 0; i < maxFrameMsgs; i++ {
+				off += 5 + int(binary.LittleEndian.Uint32(body[off+1:]))
+			}
+			l.pending = body[off:]
+			l.nPending = count - maxFrameMsgs
+			body = body[:off:off]
+			count = maxFrameMsgs
+		} else {
+			l.pending = nil
+			l.nPending = 0
+		}
 		l.mu.Unlock()
+
+		wireCount := count
+		if grant > 0 {
+			// Piggybacked grant: one more message in the frame. Receivers
+			// process tCredit entries inline wherever they appear, so this
+			// is wire-compatible with a standalone credit frame. The stat is
+			// counted here — where the grant provably ships — and only as
+			// piggybacked when it actually rides a data frame.
+			body = append(body, tCredit, 2, 0, 0, 0, byte(grant), byte(grant>>8))
+			wireCount++
+			l.bumpStat(func(s *Stats) {
+				s.ExplicitCreditsSent++
+				if count > 0 {
+					s.PiggybackedGrants++
+				}
+			})
+		}
 
 		var hdr [6]byte
 		binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)+2))
-		binary.LittleEndian.PutUint16(hdr[4:], uint16(count))
+		binary.LittleEndian.PutUint16(hdr[4:], uint16(wireCount))
 		// Count the frame before shipping it so a peer that has received the
-		// messages can never observe sender stats that miss them.
+		// messages can never observe sender stats that miss them. Stats
+		// track protocol messages only: a piggybacked grant counts toward
+		// the credit counters (see onReceive), not MsgsSent, and a
+		// grant-only frame counts like a standalone credit frame (not at
+		// all), keeping MsgsSent == messages Sent.
 		l.bumpStat(func(s *Stats) {
-			s.FramesSent++
-			s.MsgsSent += uint64(count)
+			if count > 0 {
+				s.FramesSent++
+				s.MsgsSent += uint64(count)
+			}
 			if count > 1 {
 				s.BatchedMsgs += uint64(count)
 			}
@@ -527,56 +584,79 @@ func (l *Link) sendCreditFrame(n int) {
 	l.bumpStat(func(s *Stats) { s.ExplicitCreditsSent++ })
 }
 
+// framePool recycles inbound frame buffers across Serve iterations (and
+// across links): the decoder copies every variable-length payload out of the
+// frame, so nothing escapes it and the buffer can be reused as soon as the
+// frame's messages have been dispatched.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
 // Serve reads frames from rd and dispatches messages to fn until error/EOF.
 func (l *Link) Serve(rd io.Reader, fn func(msg any)) error {
 	br := bufio.NewReaderSize(rd, 64<<10)
 	for {
-		var hdr [4]byte
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err := l.serveFrame(br, fn); err != nil {
 			return err
-		}
-		n := binary.LittleEndian.Uint32(hdr[:])
-		if n < 2 || n > maxFrame {
-			return fmt.Errorf("wings: bad frame length %d", n)
-		}
-		frame := make([]byte, n)
-		if _, err := io.ReadFull(br, frame); err != nil {
-			return err
-		}
-		count := int(binary.LittleEndian.Uint16(frame[:2]))
-		off := 2
-		l.bumpStat(func(s *Stats) { s.FramesRecv++ })
-		for i := 0; i < count; i++ {
-			if off+5 > len(frame) {
-				return io.ErrUnexpectedEOF
-			}
-			t := frame[off]
-			bodyLen := int(binary.LittleEndian.Uint32(frame[off+1:]))
-			off += 5
-			if off+bodyLen > len(frame) {
-				return io.ErrUnexpectedEOF
-			}
-			body := frame[off : off+bodyLen]
-			off += bodyLen
-			if t == tCredit {
-				grant := int(binary.LittleEndian.Uint16(body))
-				l.addCredits(grant)
-				continue
-			}
-			msg, err := decodeMsg(t, body)
-			if err != nil {
-				return err
-			}
-			l.bumpStat(func(s *Stats) {
-				s.MsgsRecv++
-				if sb, ok := msg.(proto.ShardBatch); ok {
-					s.CoalescedRecv += uint64(len(sb.Msgs))
-				}
-			})
-			l.onReceive(msg)
-			fn(msg)
 		}
 	}
+}
+
+// serveFrame reads and dispatches one frame, holding a pooled buffer for
+// exactly its duration.
+func (l *Link) serveFrame(br *bufio.Reader, fn func(msg any)) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n < 2 || n > maxFrame {
+		return fmt.Errorf("wings: bad frame length %d", n)
+	}
+	bufp := framePool.Get().(*[]byte)
+	defer framePool.Put(bufp)
+	if cap(*bufp) < n {
+		*bufp = make([]byte, n)
+	}
+	frame := (*bufp)[:n]
+	if _, err := io.ReadFull(br, frame); err != nil {
+		return err
+	}
+	count := int(binary.LittleEndian.Uint16(frame[:2]))
+	off := 2
+	l.bumpStat(func(s *Stats) { s.FramesRecv++ })
+	for i := 0; i < count; i++ {
+		if off+5 > len(frame) {
+			return io.ErrUnexpectedEOF
+		}
+		t := frame[off]
+		bodyLen := int(binary.LittleEndian.Uint32(frame[off+1:]))
+		off += 5
+		if bodyLen < 0 || off+bodyLen > len(frame) {
+			return io.ErrUnexpectedEOF
+		}
+		body := frame[off : off+bodyLen]
+		off += bodyLen
+		if t == tCredit {
+			if bodyLen < 2 {
+				return io.ErrUnexpectedEOF
+			}
+			grant := int(binary.LittleEndian.Uint16(body))
+			l.addCredits(grant)
+			continue
+		}
+		msg, err := decodeMsg(t, body)
+		if err != nil {
+			return err
+		}
+		l.bumpStat(func(s *Stats) {
+			s.MsgsRecv++
+			if sb, ok := msg.(proto.ShardBatch); ok {
+				s.CoalescedRecv += uint64(len(sb.Msgs))
+			}
+		})
+		l.onReceive(msg)
+		fn(msg)
+	}
+	return nil
 }
 
 // onReceive applies flow-control accounting for an incoming message.
@@ -594,13 +674,22 @@ func (l *Link) onReceive(msg any) {
 	if l.cfg.ExplicitEvery > 0 && (l.cfg.IsOneWay == nil || l.cfg.IsOneWay(msg)) {
 		l.mu.Lock()
 		l.recvSinceCredit++
-		send := l.recvSinceCredit >= l.cfg.ExplicitEvery
-		if send {
+		grant, piggy := 0, false
+		if l.recvSinceCredit >= l.cfg.ExplicitEvery {
 			l.recvSinceCredit = 0
+			grant = l.cfg.ExplicitEvery
+			if l.flushing || l.nPending > 0 {
+				// A data frame is already on its way out: ride it instead
+				// of paying for a standalone credit frame. The flusher
+				// drains pendingGrant with (or, if its queue just emptied,
+				// right after) the queued messages.
+				l.pendingGrant += grant
+				piggy = true
+			}
 		}
 		l.mu.Unlock()
-		if send {
-			go l.sendCreditFrame(l.cfg.ExplicitEvery)
+		if grant > 0 && !piggy {
+			go l.sendCreditFrame(grant)
 		}
 	}
 }
