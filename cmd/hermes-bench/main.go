@@ -8,7 +8,7 @@
 //	hermes-bench -exp fig9 -quick    # reduced scale
 //
 // Experiments: fig5a fig5b fig6a fig6b fig6c fig7 fig8 fig9 table2 shards
-// reads ablation-o1 ablation-o2 ablation-o3 ablation-nolsc
+// reads reconfig ablation-o1 ablation-o2 ablation-o3 ablation-nolsc
 package main
 
 import (
@@ -58,6 +58,8 @@ func main() {
 			func() fmt.Stringer { return bench.ShardScaling(sc) }},
 		{"reads", "LIVE lock-free read fast path: throughput vs client goroutines with hit rate (§4.1)",
 			func() fmt.Stringer { return bench.ReadScaling(sc) }},
+		{"reconfig", "LIVE per-shard membership epochs: untouched-shard availability during one shard's install storm (§3.4)",
+			func() fmt.Stringer { return bench.ReconfigAvailability(sc) }},
 		{"ablation-o1", "O1: VAL elision savings (paper §3.3)",
 			func() fmt.Stringer { return bench.AblationO1(sc) }},
 		{"ablation-o2", "O2: virtual node ID fairness (paper §3.3)",

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// The acceptance bar for per-shard membership epochs: while one shard rides
+// an install storm, the untouched shards keep their read throughput and
+// their lock-free fast path. Thresholds sit below the typically measured
+// values (~95-100% retention, ~97% hit rate) to stay robust on loaded CI
+// hosts; `hermes-bench -exp reconfig` reports the real numbers.
+func TestReconfigUntouchedShardsRetainService(t *testing.T) {
+	r := RunReconfigPoint(4, false, 60*time.Millisecond)
+	if r.Installs < 20 {
+		t.Fatalf("storm issued only %d installs — no storm, no measurement", r.Installs)
+	}
+	// The storm must have advanced ONLY the hot shard's epoch.
+	for s, e := range r.EpochsAfter {
+		if s == r.Hot && e < 2 {
+			t.Fatalf("hot shard epoch %d after %d installs", e, r.Installs)
+		}
+		if s != r.Hot && e != 1 {
+			t.Fatalf("untouched shard %d epoch moved to %d during a per-shard storm", s, e)
+		}
+	}
+	for s := 0; s < r.Shards; s++ {
+		if s != r.Hot && r.BaseReads[s] == 0 {
+			t.Fatalf("shard %d: no baseline reads — measurement starved", s)
+		}
+	}
+	if ret := r.UntouchedMinReadRetention(); ret < 0.8 {
+		t.Fatalf("untouched shards kept only %.1f%% of baseline read throughput (want >=80%%; bench target 90%%)\nbase=%v storm=%v",
+			100*ret, r.BaseReads, r.StormReads)
+	}
+	if hr := r.UntouchedMinStormHitRate(); hr < 0.9 {
+		t.Fatalf("untouched shards' fast-path hit rate %.1f%% during the storm (want >=90%%)", 100*hr)
+	}
+	if ret := r.UntouchedMinWriteRetention(); ret < 0.6 {
+		t.Fatalf("untouched shards kept only %.1f%% of baseline write throughput", 100*ret)
+	}
+}

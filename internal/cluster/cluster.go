@@ -198,6 +198,17 @@ func NewNode(cfg NodeConfig, tr Transport) *Node {
 		MLT: cfg.MLT, ElideVAL: cfg.ElideVAL, EarlyACKs: cfg.EarlyACKs, NoLSC: cfg.NoLSC,
 	})
 	tr.SetDeliver(cfg.ID, func(from proto.NodeID, msg any) {
+		if mu, ok := msg.(proto.MUpdate); ok {
+			// A wire m-update never reaches the protocol state machine; it is
+			// host-level routing. A plain node is its own shard 0, so it
+			// accepts updates addressed to shard 0 or to all shards and drops
+			// the rest (a mis-addressed update stalls safely, like a
+			// mis-tagged ShardMsg).
+			if mu.Shard == 0 || mu.Shard == proto.AllShards {
+				n.installAsync(mu.View)
+			}
+			return
+		}
 		select {
 		case n.msgs <- env{from: from, msg: msg}:
 		case <-n.stop:
@@ -245,6 +256,17 @@ func (n *Node) InstallView(v proto.View) {
 	done := make(chan struct{})
 	n.enqueueFn(func() { n.h.OnViewChange(v); close(done) })
 	<-done
+}
+
+// installAsync is InstallView without the completion wait: the gate shuts
+// immediately and the m-update is queued behind whatever the event loop is
+// doing. Used when the caller is a transport pump that must not block on a
+// busy shard (OnViewChange republishes the gate when it runs — including for
+// duplicate or stale epochs, so a redelivered MUpdate cannot wedge the gate
+// shut).
+func (n *Node) installAsync(v proto.View) {
+	n.h.ReadGate().Shut()
+	n.enqueueFn(func() { n.h.OnViewChange(v) })
 }
 
 // enqueueFn runs fn on the event loop by disguising it as a message.

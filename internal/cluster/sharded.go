@@ -34,9 +34,12 @@ import (
 // otherwise multiply. Arriving batches fan back out to owner shards in
 // dispatch.
 //
-// Membership m-updates fan out to every shard (InstallView), so the §3.4
-// fault-tolerance machinery — epoch filtering, write replays, shadow-replica
-// catch-up — operates per shard over that shard's slice of the keyspace.
+// Membership epochs are per shard: a node-wide m-update fans out to every
+// shard (InstallView), while InstallShardView — or a wire proto.MUpdate
+// addressing one shard — advances a single shard's epoch. Either way the
+// §3.4 fault-tolerance machinery — epoch filtering, write replays,
+// shadow-replica catch-up — operates per shard over that shard's slice of
+// the keyspace, so one shard's reconfiguration never pauses the others.
 type ShardedNode struct {
 	id     proto.NodeID
 	w      int
@@ -285,6 +288,20 @@ func (sn *ShardedNode) dispatch(from proto.NodeID, msg any) {
 		}
 	case proto.ShardMsg:
 		sn.dispatchTagged(from, m)
+	case proto.MUpdate:
+		// A wire m-update installs on exactly the shards it addresses — the
+		// per-shard epoch machinery. Installs are asynchronous: the dispatch
+		// pump must not block behind one busy shard's event loop (that would
+		// re-couple the shards the per-shard epochs decouple). Out-of-range
+		// targets drop, like a mis-tagged ShardMsg.
+		switch {
+		case m.Shard == proto.AllShards:
+			for _, s := range sn.shards {
+				s.installAsync(m.View)
+			}
+		case int(m.Shard) < sn.w:
+			sn.shards[m.Shard].installAsync(m.View)
+		}
 	default:
 		sn.deliver[sn.ownerOf(msg, 0)](from, msg)
 	}
@@ -365,12 +382,36 @@ func (sn *ShardedNode) FAA(ctx context.Context, key proto.Key, delta int64) (int
 	return sn.shardFor(key).FAA(ctx, key, delta)
 }
 
-// InstallView fans the m-update out to every shard, preserving the §3.4
-// replay machinery per keyspace partition.
+// InstallView fans the m-update out to every shard — the node-wide install a
+// membership agent decides once per node. Each shard runs the full §3.4
+// transition independently over its own keyspace partition: its read gate
+// shuts, its in-flight epoch-tagged messages are filtered, its replays run.
 func (sn *ShardedNode) InstallView(v proto.View) {
 	for _, s := range sn.shards {
 		s.InstallView(v)
 	}
+}
+
+// InstallShardView installs an m-update on one shard only, leaving every
+// other shard's epoch, read gate and in-flight traffic untouched. This is
+// what localizes reconfiguration: a replay storm following shard i's install
+// cannot stall reads or writes on shards j≠i (measured by `hermes-bench
+// -exp reconfig`). Blocks until the target shard's event loop has completed
+// the transition.
+func (sn *ShardedNode) InstallShardView(shard int, v proto.View) {
+	sn.shards[shard].InstallView(v)
+}
+
+// ShardEpochs reports each shard's currently published membership epoch
+// (read from the shards' atomic read-gate words; safe mid-traffic). With
+// per-shard installs the epochs may legitimately differ across shards of one
+// node.
+func (sn *ShardedNode) ShardEpochs() []uint32 {
+	out := make([]uint32, sn.w)
+	for i, s := range sn.shards {
+		out[i] = s.h.ReadGate().Epoch()
+	}
+	return out
 }
 
 // Close stops all shard engines (the transport is the caller's to close,

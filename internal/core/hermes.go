@@ -19,6 +19,7 @@ package core
 import (
 	"bytes"
 	"math/rand"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -82,6 +83,7 @@ type Metrics struct {
 	Replays                 uint64 // write replays started
 	Retransmits             uint64 // INV rebroadcasts after mlt
 	RMWAborts               uint64
+	RMWRecovered            uint64 // RMWs completed OK after a replay committed them (§3.6 verdict)
 	StaleEpochDrops         uint64
 	StalledReads            uint64 // reads that found the key not Valid
 	FastPathReads           uint64 // reads served lock-free by ReadLocal
@@ -106,10 +108,12 @@ type Hermes struct {
 	// gate is the atomically-published condition for the lock-free read
 	// fast path; the read-side counters beneath it are the Metrics fields
 	// two goroutine classes bump (see ReadLocal). reads counts only
-	// Submit-path reads; the total is reads+fastReads.
-	gate                         ReadGate
-	reads, fastReads, fastMisses atomic.Uint64
-	stalledReads                 atomic.Uint64
+	// Submit-path reads; the total is reads+fastReads. The fast-path pair is
+	// striped (readCounter) because every reader goroutine bumps it.
+	gate                  ReadGate
+	reads                 atomic.Uint64
+	fastReads, fastMisses readCounter
+	stalledReads          atomic.Uint64
 
 	cidOwner   func(uint16) proto.NodeID
 	virtualIDs []uint16
@@ -159,6 +163,10 @@ type pending struct {
 	oldVal   proto.Value // FAA result
 	acked    map[proto.NodeID]bool
 	resendAt time.Duration
+	// slipped records that a view excluding this replica was installed while
+	// the pend was open: updates may then have committed without our ACK,
+	// which voids the §3.6 version-jump verdict (see applyINV).
+	slipped bool
 }
 
 // New builds a Hermes replica from cfg. The replica is operational
@@ -270,6 +278,23 @@ func (h *Hermes) metaOf(k proto.Key) *keyMeta {
 		h.meta[k] = m
 	}
 	return m
+}
+
+// sortedMetaKeys snapshots the keys with live coordination state in key
+// order. Tick and OnViewChange iterate this instead of the meta map so the
+// order of retransmissions and rebroadcasts — and therefore every downstream
+// network event — is deterministic, which is what makes chaos-harness runs
+// exactly replayable from a seed.
+func (h *Hermes) sortedMetaKeys() []proto.Key {
+	if len(h.meta) == 0 {
+		return nil
+	}
+	keys := make([]proto.Key, 0, len(h.meta))
+	for k := range h.meta {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // gc drops the key's meta if it holds no state.
@@ -479,6 +504,30 @@ func (h *Hermes) applyINV(inv INV) {
 		p := m.pend
 		switch {
 		case p.rmw:
+			if p.hasOp && !p.replay && inv.TS.Version > p.ts.Version+1 && !p.slipped {
+				// §3.6 verdict, version-jump case: the arriving chain's base
+				// was a COMMITTED version at or above ours. Every commit
+				// gathers ACKs from the full write set — including us — and
+				// this pend being open proves we never acknowledged a rival
+				// from our base (doing so closes the pend right here). So the
+				// committed version p.ts.Version+? the chain built on can only
+				// be our own RMW, committed on our behalf by a §3.4 write
+				// replay whose VAL we missed, then overwritten. Reporting
+				// Aborted would tell the client an applied update had no
+				// effect — a linearizability violation the chaos harness
+				// catches. Report success instead. (A same-base rival —
+				// version ≤ ours+1 — still aborts below; and after a view
+				// that excluded us the no-ACK-without-us premise is void, so
+				// `slipped` falls back to the abort verdict.)
+				h.metrics.RMWRecovered++
+				c := proto.Completion{OpID: p.op.ID, Kind: p.op.Kind, Key: inv.Key, Status: proto.OK}
+				if p.op.Kind == proto.OpFAA {
+					c.Value = p.oldVal
+				}
+				h.env.Complete(c)
+				m.pend = nil
+				break
+			}
 			// CRMW-abort: our in-flight RMW lost to a higher-timestamped
 			// update. Replayed RMWs abort silently; originals notify the
 			// client.
@@ -716,7 +765,11 @@ func (h *Hermes) drainWaiters(k proto.Key, m *keyMeta) {
 // membership checks.
 func (h *Hermes) Tick() {
 	now := h.env.Now()
-	for k, m := range h.meta {
+	for _, k := range h.sortedMetaKeys() {
+		m := h.meta[k]
+		if m == nil {
+			continue // gc'd while handling an earlier key this tick
+		}
 		if p := m.pend; p != nil {
 			if now >= p.resendAt {
 				h.metrics.Retransmits++
@@ -750,10 +803,16 @@ func (h *Hermes) Tick() {
 // drop old-epoch messages.
 func (h *Hermes) OnViewChange(v proto.View) {
 	if v.Epoch <= h.view.Epoch {
+		// Duplicate or stale m-update: a lossy wire may deliver the same
+		// MUpdate twice, and the live runtime shuts the read gate before
+		// *every* install — republish it here or a no-op install would leave
+		// the fast path shut forever.
+		h.publishGate()
 		return
 	}
 	h.view = v.Clone()
 	h.learner = v.IsLearner(h.id)
+	excluded := !v.Contains(h.id) && !h.learner
 	if v.Contains(h.id) {
 		// Full member (covers a learner's promotion to serving member).
 		h.oper = true
@@ -768,10 +827,19 @@ func (h *Hermes) OnViewChange(v proto.View) {
 	// Reopen (or keep shut) the lock-free read gate under the new epoch;
 	// the live runtime shut it before this m-update entered the event loop.
 	h.publishGate()
-	for k, m := range h.meta {
+	for _, k := range h.sortedMetaKeys() {
+		m := h.meta[k]
+		if m == nil {
+			continue
+		}
 		p := m.pend
 		if p == nil {
 			continue
+		}
+		if excluded {
+			// Commits in this view no longer need our ACK: the version-jump
+			// verdict (applyINV) must not claim them as ours.
+			p.slipped = true
 		}
 		if p.rmw {
 			p.acked = make(map[proto.NodeID]bool)

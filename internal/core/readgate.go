@@ -91,22 +91,22 @@ func (h *Hermes) publishGate() {
 func (h *Hermes) ReadLocal(k proto.Key) (proto.Value, bool) {
 	g := h.gate.v.Load()
 	if !gateAllows(g) {
-		h.fastMisses.Add(1)
+		h.fastMisses.Inc()
 		return nil, false
 	}
 	e, ok := h.store.Get(k)
 	if ok && e.State != kvs.Valid {
-		h.fastMisses.Add(1)
+		h.fastMisses.Inc()
 		return nil, false
 	}
 	if h.gate.v.Load() != g {
-		h.fastMisses.Add(1)
+		h.fastMisses.Inc()
 		return nil, false
 	}
-	// One atomic bump, not two: the read total is derived as
+	// One counter bump, not two: the read total is derived as
 	// submitted + fastReads when reported, keeping the hit hot path at a
-	// single counter update.
-	h.fastReads.Add(1)
+	// single striped increment (see readCounter).
+	h.fastReads.Inc()
 	return e.Value, true
 }
 

@@ -1,0 +1,101 @@
+package membership
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// The full §3.4 rejoin arc at the membership layer, as the reconfiguration
+// chaos harness exercises it end to end in internal/sim: a member
+// crash-stops and is reconfigured out; the node restarts as a NEW Agent —
+// stale epoch-1 initial view, no Paxos acceptor state (a process restart
+// loses everything volatile) — catches up on the committed view via
+// heartbeat/ViewReq, is re-added as a learner, and is finally promoted to a
+// serving member. Random message loss runs throughout: every step must be
+// carried by retries (heartbeats, proposal re-issue), not by luck.
+func TestRejoinAfterRestartUnderLoss(t *testing.T) {
+	h := newMHarness(t, 3)
+	rng := rand.New(rand.NewSource(42))
+	lossyRun := func(d time.Duration) {
+		const step = 5 * time.Millisecond
+		for elapsed := time.Duration(0); elapsed < d; elapsed += step {
+			h.now += step
+			for id, a := range h.agents {
+				if !h.crashed[id] {
+					a.Tick()
+				}
+			}
+			// Drop ~10% of in-flight membership traffic before delivery.
+			kept := h.msgs[:0]
+			for _, m := range h.msgs {
+				if rng.Float64() >= 0.10 {
+					kept = append(kept, m)
+				}
+			}
+			h.msgs = kept
+			h.deliverAll()
+		}
+	}
+
+	lossyRun(50 * time.Millisecond)
+	h.crashed[2] = true
+	lossyRun(900 * time.Millisecond)
+	v := h.agents[0].View()
+	if v.Contains(2) || len(v.Members) != 2 {
+		t.Fatalf("crashed node not removed under loss: %v", v)
+	}
+	removedEpoch := v.Epoch
+
+	// Process restart: a brand-new Agent with the ORIGINAL epoch-1 view and
+	// empty consensus state, exactly what a rebooted node holds.
+	all := []proto.NodeID{0, 1, 2}
+	h.agents[2] = New(Config{
+		ID: 2, All: all,
+		Initial:        proto.View{Epoch: 1, Members: all},
+		Env:            &magentEnv{h: h, id: 2},
+		HeartbeatEvery: 10 * time.Millisecond,
+		SuspectAfter:   50 * time.Millisecond,
+		LeaseDur:       100 * time.Millisecond,
+	})
+	h.crashed[2] = false
+
+	// Its heartbeats advertise the stale epoch; peers' higher epoch flows
+	// back via ViewReq/ViewCommit — and must NOT re-add it.
+	lossyRun(300 * time.Millisecond)
+	if got := h.agents[2].View().Epoch; got != removedEpoch {
+		t.Fatalf("restarted node at epoch %d, peers at %d — view catch-up failed", got, removedEpoch)
+	}
+	if h.agents[0].View().Contains(2) {
+		t.Fatal("restart alone re-added the removed node")
+	}
+
+	// Operator re-adds it as a learner (shadow replica)...
+	h.agents[0].ProposeView(h.agents[0].View().Members, []proto.NodeID{2})
+	lossyRun(300 * time.Millisecond)
+	for id := proto.NodeID(0); id < 3; id++ {
+		if v := h.agents[id].View(); !v.IsLearner(2) || v.Contains(2) {
+			t.Fatalf("node %d after learner re-add: %v", id, v)
+		}
+	}
+
+	// ... and, once caught up (the datastore side is the protocol's
+	// business), promotes it to a full member.
+	h.agents[1].ProposeView([]proto.NodeID{0, 1, 2}, nil)
+	lossyRun(300 * time.Millisecond)
+	for id := proto.NodeID(0); id < 3; id++ {
+		v := h.agents[id].View()
+		if !v.Contains(2) || v.IsLearner(2) || len(v.Members) != 3 {
+			t.Fatalf("node %d after promotion: %v", id, v)
+		}
+	}
+	if e := h.agents[2].View().Epoch; e <= removedEpoch+1 {
+		t.Fatalf("promotion epoch %d did not advance past learner epoch", e)
+	}
+	// The promoted node is a first-class agent again: its lease holds.
+	if !h.agents[2].Operational() {
+		t.Fatal("promoted node has no lease")
+	}
+}

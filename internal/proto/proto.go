@@ -304,6 +304,28 @@ type ShardBatch struct {
 	Msgs []ShardMsg
 }
 
+// AllShards is the MUpdate target meaning "every shard of the node". It is
+// also the one shard index a deployment may never use for a real shard;
+// ShardedNode caps worker counts far below it.
+const AllShards uint16 = 0xFFFF
+
+// MUpdate is a shard-routable membership update (m-update, paper §3.4): a
+// View plus the shard whose epoch it advances. Per-shard epochs localize
+// reconfiguration — installing a view on one shard shuts only that shard's
+// read gate, filters only that shard's in-flight epoch-tagged messages and
+// replays only that shard's slice of the keyspace, while the node's other
+// shards keep serving undisturbed. Shard == AllShards addresses every shard
+// (the classic node-wide m-update a membership agent decides).
+//
+// MUpdate is node-level routing, not shard-engine traffic: it never rides a
+// ShardMsg/ShardBatch envelope (its Shard field already is the routing tag)
+// and protocol state machines never see it — the hosting runtime intercepts
+// it and turns it into per-shard OnViewChange calls.
+type MUpdate struct {
+	Shard uint16 // target shard, or AllShards for every shard
+	View  View
+}
+
 // ShardOf maps a key to one of w keyspace shards. Every node of a cluster
 // must agree on w: the mapping is what makes "shard s here" and "shard s
 // there" replicas of the same partition. The mixer is splitmix64's

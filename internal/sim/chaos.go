@@ -1,0 +1,640 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/linear"
+	"repro/internal/proto"
+)
+
+// This file is the deterministic reconfiguration chaos harness: a seeded
+// schedule of node crashes, rejoins as learner, lease flips and per-shard
+// view installs, injected under a live read/write/RMW workload on a sharded
+// Hermes cluster, with every key's history checked against the Wing–Gong
+// linearizability oracle (internal/linear). Everything — the fault schedule,
+// the client mix, the network's loss and jitter — derives from ChaosConfig.Seed
+// over virtual time, so a failing run replays exactly from its seed. (The
+// protocol core cooperates: Tick and OnViewChange iterate per-key state in
+// sorted order precisely so retransmission order cannot leak map randomness
+// into the schedule.)
+
+// ChaosConfig parameterizes one chaos run. The zero value of every field
+// gets a sensible default; only Seed is required to vary runs.
+type ChaosConfig struct {
+	Seed            int64
+	Nodes           int           // replica count (default 3)
+	Shards          int           // engines per node (default 4)
+	Keys            int           // keyspace size (default 12; small → real contention)
+	SessionsPerNode int           // closed-loop clients per node (default 2)
+	OpsPerSession   int           // ops each session issues (default 150)
+	MLT             time.Duration // message-loss timeout (default 2ms)
+	TickEvery       time.Duration // timer granularity (default 100µs)
+	// Net models the fabric; the zero value becomes a lossy RDMA-class
+	// network (1% loss, 0.5% duplication) — chaos without message loss
+	// would never exercise replays.
+	Net NetConfig
+
+	// Fault injections. All off yields a plain workload run.
+	CrashRejoin bool // crash a node, remove it, rejoin as learner, promote
+	LeaseFlips  bool // temporarily revoke a node's RM lease
+	ShardStorms bool // back-to-back view installs targeted at single shards
+	// StormShard pins the shard the back-to-back installs target; an
+	// out-of-range value (e.g. -1) picks per-storm at random. The zero value
+	// pins shard 0, which scenario tests exploit to assert the other shards'
+	// epochs never moved.
+	StormShard int
+}
+
+func (cfg *ChaosConfig) defaults() {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 12
+	}
+	if cfg.SessionsPerNode <= 0 {
+		cfg.SessionsPerNode = 2
+	}
+	if cfg.OpsPerSession <= 0 {
+		cfg.OpsPerSession = 200
+	}
+	if cfg.MLT <= 0 {
+		cfg.MLT = 2 * time.Millisecond
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 100 * time.Microsecond
+	}
+	if cfg.Net == (NetConfig{}) {
+		cfg.Net = NetConfig{
+			BaseLatency: 2 * time.Microsecond,
+			Jitter:      500 * time.Nanosecond,
+			LossProb:    0.01,
+			DupProb:     0.005,
+		}
+	}
+}
+
+// ChaosResult aggregates a run's observations. History holds every key's
+// recorded operations (already checked by RunChaos); the counters summarize
+// what the schedule actually exercised so scenario tests can assert they hit
+// their target machinery.
+type ChaosResult struct {
+	Seed    int64
+	Elapsed time.Duration // virtual time at the end of the run
+
+	Ops, Reads, Writes, RMWs uint64 // completed, by class
+	Aborts, Rejected         uint64 // RMW aborts; NotOperational rejections
+	Abandoned                uint64 // ops given up on (crashed server) — pending in the history
+
+	Crashes, Restarts, Promotions int
+	Installs                      int // views issued by the harness
+	ShardInstalls                 int // single-shard installs among them
+
+	Replays, Retransmits, StaleEpochDrops uint64 // summed over engines
+
+	FinalEpochs [][]uint32 // per live node, per shard
+	History     *linear.History
+}
+
+// Fingerprint digests the run — every recorded operation with its timing and
+// output, plus the final per-shard epochs — into one value. Two runs of the
+// same seed must produce identical fingerprints; the determinism test pins
+// that.
+func (r *ChaosResult) Fingerprint() uint64 {
+	h := fnv.New64a()
+	w := func(vs ...uint64) {
+		var b [8]byte
+		for _, v := range vs {
+			for i := 0; i < 8; i++ {
+				b[i] = byte(v >> (8 * i))
+			}
+			h.Write(b[:])
+		}
+	}
+	for _, k := range r.History.Keys() {
+		w(uint64(k))
+		for _, op := range r.History.Ops(k) {
+			w(op.ID, uint64(op.Kind), uint64(op.Invoke), uint64(op.Return))
+			h.Write(op.Arg)
+			h.Write(op.Out)
+		}
+	}
+	for _, es := range r.FinalEpochs {
+		for _, e := range es {
+			w(uint64(e))
+		}
+	}
+	w(r.Ops, r.Aborts, r.Rejected, r.Abandoned, r.Replays)
+	return h.Sum64()
+}
+
+// chaosRun is the mutable harness state; everything mutates inside engine
+// events, so no locking is needed (the simulator is single-threaded).
+type chaosRun struct {
+	cfg  ChaosConfig
+	c    *Cluster
+	rng  *rand.Rand
+	hist *linear.History
+	res  *ChaosResult
+
+	view  proto.View // the harness's (= membership service's) current view
+	epoch uint32     // highest epoch issued so far, across all shards
+
+	alive       []bool
+	leased      []bool
+	learner     proto.NodeID // node currently rejoining, or NilNode
+	outstanding map[uint64]func(proto.Completion)
+	idSeq       uint64
+	sessionsRun int // sessions still issuing
+	scriptOpen  int // scheduled fault-script items not yet finished
+}
+
+// RunChaos executes one seeded chaos run and checks every key's history for
+// linearizability. A non-nil error reports a safety violation (history not
+// linearizable), an availability failure (final reads never completed) or a
+// stuck run; the message embeds the seed for replay.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	cfg.defaults()
+	r := &chaosRun{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		hist:        linear.NewHistory(),
+		res:         &ChaosResult{Seed: cfg.Seed, History: nil},
+		alive:       make([]bool, cfg.Nodes),
+		leased:      make([]bool, cfg.Nodes),
+		learner:     proto.NilNode,
+		outstanding: make(map[uint64]func(proto.Completion)),
+	}
+	r.res.History = r.hist
+	for i := range r.alive {
+		r.alive[i] = true
+		r.leased[i] = true
+	}
+	r.c = New(Config{
+		Nodes: cfg.Nodes,
+		Factory: func(id proto.NodeID, view proto.View, env proto.Env) proto.Replica {
+			return NewShardedReplica(id, view, env, ShardedReplicaConfig{
+				Shards: cfg.Shards, MLT: cfg.MLT,
+			})
+		},
+		Net:       cfg.Net,
+		TickEvery: cfg.TickEvery,
+		Seed:      cfg.Seed ^ 0xC0FFEE,
+	})
+	r.view = r.c.View()
+	r.epoch = r.view.Epoch
+
+	// Client sessions: closed-loop read/write/RMW mix.
+	for n := 0; n < cfg.Nodes; n++ {
+		for s := 0; s < cfg.SessionsPerNode; s++ {
+			sess := &chaosSession{
+				r:         r,
+				rng:       rand.New(rand.NewSource(cfg.Seed + int64(n)*131 + int64(s)*7919 + 1)),
+				node:      proto.NodeID(n),
+				remaining: cfg.OpsPerSession,
+			}
+			r.sessionsRun++
+			start := time.Duration(1+r.rng.Intn(500)) * time.Microsecond
+			r.c.eng.After(start, sess.next)
+		}
+	}
+	r.scheduleFaults()
+
+	// Drive until sessions and fault script complete (or declare the run
+	// stuck — that too is a finding).
+	const horizon = 3 * time.Second
+	for r.sessionsRun > 0 || r.scriptOpen > 0 {
+		if r.c.eng.Now() > horizon {
+			return r.res, fmt.Errorf("chaos run stuck at %v: %d sessions, %d script items open (replay with seed %d)",
+				r.c.eng.Now(), r.sessionsRun, r.scriptOpen, cfg.Seed)
+		}
+		r.c.eng.RunUntil(r.c.eng.Now() + 5*time.Millisecond)
+	}
+
+	// Availability epilogue: one read of every key at every serving member,
+	// in node rounds (sequential per key across rounds, so divergence between
+	// replicas cannot hide). These reads stall on Invalid keys and must be
+	// completed by the replay machinery — that they finish at all is part of
+	// the check.
+	if err := r.finalReads(horizon); err != nil {
+		return r.res, err
+	}
+
+	r.collectMetrics()
+	r.hist.Close()
+	if k, res, ok := r.hist.CheckAll(); !ok {
+		return r.res, fmt.Errorf("history of key %d not linearizable: %s (replay with seed %d)", k, res.Info, cfg.Seed)
+	}
+	r.res.Elapsed = r.c.eng.Now()
+	return r.res, nil
+}
+
+// --- fault script ---
+
+// scheduleFaults lays out the seeded injection schedule. All randomness is
+// drawn here and inside engine events, in deterministic order.
+func (r *chaosRun) scheduleFaults() {
+	if r.cfg.ShardStorms {
+		for i := 0; i < 2; i++ {
+			at := time.Duration(5+r.rng.Intn(30)) * time.Millisecond
+			shard := r.cfg.StormShard
+			if shard < 0 || shard >= r.cfg.Shards {
+				shard = r.rng.Intn(r.cfg.Shards)
+			}
+			bursts := 3 + r.rng.Intn(3)
+			gap := time.Duration(200+r.rng.Intn(600)) * time.Microsecond
+			r.scriptOpen++
+			r.c.eng.At(at, func() { r.storm(shard, bursts, gap) })
+		}
+	}
+	if r.cfg.LeaseFlips {
+		for i := 0; i < 2; i++ {
+			at := time.Duration(6+r.rng.Intn(25)) * time.Millisecond
+			dur := time.Duration(2+r.rng.Intn(4)) * time.Millisecond
+			r.scriptOpen++
+			r.c.eng.At(at, func() { r.leaseFlip(dur) })
+		}
+	}
+	if r.cfg.CrashRejoin {
+		at := time.Duration(8+r.rng.Intn(8)) * time.Millisecond
+		r.scriptOpen++
+		r.c.eng.At(at, func() { r.crashCycle() })
+	}
+}
+
+// storm issues `bursts` back-to-back view installs targeted at one shard:
+// membership unchanged, epoch advancing each time — the §3.4 transition
+// (gate shut, epoch-tagged filtering, replays of in-flight writes) hammered
+// on one shard while every other shard's epoch never moves.
+func (r *chaosRun) storm(shard, bursts int, gap time.Duration) {
+	if bursts == 0 {
+		r.scriptOpen--
+		return
+	}
+	r.epoch++
+	v := r.view.Clone()
+	v.Epoch = r.epoch
+	r.install(v, shard)
+	r.c.eng.After(gap, func() { r.storm(shard, bursts-1, gap) })
+}
+
+// leaseFlip revokes a serving member's lease for dur — the node rejects
+// client requests (NotOperational) but keeps following the protocol, exactly
+// like a replica on the minority side of a partition before the membership
+// reacts.
+func (r *chaosRun) leaseFlip(dur time.Duration) {
+	n := r.pickVictim()
+	if n == proto.NilNode {
+		r.scriptOpen--
+		return
+	}
+	r.leased[n] = false
+	r.c.Replica(n).(*ShardedReplica).SetOperational(false)
+	r.c.eng.After(dur, func() {
+		if r.alive[n] {
+			r.leased[n] = true
+			r.c.Replica(n).(*ShardedReplica).SetOperational(true)
+		}
+		r.scriptOpen--
+	})
+}
+
+// crashCycle is the full §3.4 recovery arc: crash-stop a member while
+// traffic (and possibly a replay) is in flight, reconfigure it out, restart
+// it as a learner (shadow replica, empty store), wait for chunk-transfer
+// catch-up, then promote it back to a serving member.
+func (r *chaosRun) crashCycle() {
+	n := r.pickVictim()
+	if n == proto.NilNode {
+		r.scriptOpen--
+		return
+	}
+	r.c.hosts[n].crashed = true
+	r.alive[n] = false
+	r.res.Crashes++
+
+	// Remove it from the membership a detection-delay later (staggered
+	// per-shard installs on the survivors).
+	r.c.eng.After(3*time.Millisecond, func() {
+		r.epoch++
+		v := proto.View{Epoch: r.epoch, Members: without(r.view.Members, n)}
+		v.Learners = append([]proto.NodeID(nil), r.view.Learners...)
+		r.view = v
+		r.install(v, -1)
+	})
+
+	// Restart as learner and add it to the view as one.
+	r.c.eng.After(6*time.Millisecond, func() {
+		r.epoch++
+		v := proto.View{
+			Epoch:    r.epoch,
+			Members:  append([]proto.NodeID(nil), r.view.Members...),
+			Learners: append(append([]proto.NodeID(nil), r.view.Learners...), n),
+		}
+		r.view = v
+		r.alive[n] = true
+		r.leased[n] = true
+		r.learner = n
+		r.res.Restarts++
+		r.c.Restart(n, func(id proto.NodeID, view proto.View, env proto.Env) proto.Replica {
+			return NewShardedReplica(id, view, env, ShardedReplicaConfig{
+				Shards: r.cfg.Shards, MLT: r.cfg.MLT, Learner: true,
+			})
+		}, v)
+		r.install(v, -1)
+		r.pollPromotion(n)
+	})
+}
+
+// pollPromotion waits for the learner's every engine to finish state
+// transfer, then promotes it to a serving member.
+func (r *chaosRun) pollPromotion(n proto.NodeID) {
+	rep, ok := r.c.Replica(n).(*ShardedReplica)
+	if ok && rep.CaughtUp() {
+		r.epoch++
+		v := proto.View{
+			Epoch:   r.epoch,
+			Members: append(append([]proto.NodeID(nil), r.view.Members...), n),
+		}
+		sort.Slice(v.Members, func(i, j int) bool { return v.Members[i] < v.Members[j] })
+		v.Learners = without(r.view.Learners, n)
+		r.view = v
+		r.learner = proto.NilNode
+		r.res.Promotions++
+		r.install(v, -1)
+		r.scriptOpen--
+		return
+	}
+	r.c.eng.After(time.Millisecond, func() { r.pollPromotion(n) })
+}
+
+// pickVictim selects a live, leased, non-learner member — never the last one
+// standing.
+func (r *chaosRun) pickVictim() proto.NodeID {
+	var cands []proto.NodeID
+	healthy := 0
+	for _, m := range r.view.Members {
+		if r.alive[m] && r.leased[m] {
+			healthy++
+		}
+	}
+	if healthy < 2 {
+		return proto.NilNode
+	}
+	for _, m := range r.view.Members {
+		if r.alive[m] && r.leased[m] && m != r.learner {
+			cands = append(cands, m)
+		}
+	}
+	if len(cands) == 0 {
+		return proto.NilNode
+	}
+	return cands[r.rng.Intn(len(cands))]
+}
+
+// install delivers view v to every live node — to a single shard, or, with
+// shard < 0, to all shards with a per-shard stagger (shards advance epochs
+// independently; nothing requires them to transition together). Each
+// (node, shard) install rides the lossy network as a proto.MUpdate from the
+// current coordinator, with a direct backstop 5 MLTs later standing in for
+// the membership service's commit retry — so a lost m-update delays a shard,
+// never wedges it.
+func (r *chaosRun) install(v proto.View, shard int) {
+	r.res.Installs++
+	coord := r.coordinator()
+	lo, hi := shard, shard+1
+	if shard < 0 {
+		lo, hi = 0, r.cfg.Shards
+	} else {
+		r.res.ShardInstalls++
+	}
+	for n := 0; n < r.cfg.Nodes; n++ {
+		node := proto.NodeID(n)
+		for s := lo; s < hi; s++ {
+			mu := proto.MUpdate{Shard: uint16(s), View: v}
+			delay := time.Duration(s)*150*time.Microsecond +
+				time.Duration(r.rng.Intn(200))*time.Microsecond
+			r.c.eng.After(delay, func() {
+				if r.alive[node] {
+					r.c.net.Send(coord, node, mu, r.c.sizeOf(mu))
+				}
+			})
+			r.c.eng.After(delay+5*r.cfg.MLT, func() {
+				if !r.alive[node] {
+					return
+				}
+				if rep, ok := r.c.Replica(node).(*ShardedReplica); ok {
+					rep.InstallShard(int(mu.Shard), v)
+				}
+			})
+		}
+	}
+}
+
+func (r *chaosRun) coordinator() proto.NodeID {
+	for _, m := range r.view.Members {
+		if r.alive[m] {
+			return m
+		}
+	}
+	return r.view.Members[0]
+}
+
+// --- client sessions ---
+
+type chaosSession struct {
+	r         *chaosRun
+	rng       *rand.Rand
+	node      proto.NodeID
+	remaining int
+}
+
+// next issues the session's next operation (or retires the session).
+func (s *chaosSession) next() {
+	r := s.r
+	if s.remaining == 0 {
+		r.sessionsRun--
+		return
+	}
+	s.remaining--
+
+	// Stick to the home node while it serves; fail over otherwise.
+	target := s.node
+	if !r.alive[target] || !r.leased[target] || !r.view.Contains(target) {
+		target = proto.NilNode
+		for _, m := range r.view.Members {
+			if r.alive[m] && r.leased[m] {
+				target = m
+				break
+			}
+		}
+		if target == proto.NilNode {
+			s.remaining++
+			r.c.eng.After(time.Millisecond, s.next)
+			return
+		}
+	}
+
+	r.idSeq++
+	id := r.idSeq
+	key := proto.Key(s.rng.Intn(r.cfg.Keys))
+	now := r.c.eng.Now()
+
+	var op proto.ClientOp
+	var kind linear.Kind
+	switch p := s.rng.Float64(); {
+	case p < 0.50:
+		op = proto.ClientOp{ID: id, Kind: proto.OpRead, Key: key}
+		kind = linear.KRead
+		r.hist.Invoke(id, key, kind, nil, nil, now)
+	case p < 0.80:
+		val := proto.EncodeInt64(int64(id))
+		op = proto.ClientOp{ID: id, Kind: proto.OpWrite, Key: key, Value: val}
+		kind = linear.KWrite
+		r.hist.Invoke(id, key, kind, val, nil, now)
+	case p < 0.93:
+		op = proto.ClientOp{ID: id, Kind: proto.OpFAA, Key: key, Value: proto.EncodeInt64(1)}
+		kind = linear.KFAA
+		r.hist.Invoke(id, key, kind, proto.EncodeInt64(1), nil, now)
+	default:
+		exp := proto.EncodeInt64(int64(s.rng.Intn(64)))
+		val := proto.EncodeInt64(int64(id))
+		op = proto.ClientOp{ID: id, Kind: proto.OpCAS, Key: key, Value: val, Expected: exp}
+		kind = linear.KCASOk
+		r.hist.Invoke(id, key, kind, val, exp, now)
+	}
+
+	r.outstanding[id] = func(comp proto.Completion) { s.complete(comp) }
+	r.c.Submit(target, op, func(comp proto.Completion) {
+		if cb := r.outstanding[comp.OpID]; cb != nil {
+			delete(r.outstanding, comp.OpID)
+			cb(comp)
+		}
+	})
+	// Give-up watchdog: an op whose server crash-stopped can never complete;
+	// abandon it (it stays pending in the history — it may or may not have
+	// taken effect, which is exactly what the checker allows) and move on.
+	// The window is generous so plain retransmission never trips it.
+	r.c.eng.After(50*r.cfg.MLT, func() {
+		if _, open := r.outstanding[id]; open {
+			delete(r.outstanding, id)
+			r.res.Abandoned++
+			s.next()
+		}
+	})
+}
+
+// complete records an operation's outcome and issues the next one.
+func (s *chaosSession) complete(comp proto.Completion) {
+	r := s.r
+	now := r.c.eng.Now()
+	switch comp.Status {
+	case proto.NotOperational:
+		// Rejected before any protocol action: provably no effect.
+		r.hist.Discard(comp.OpID)
+		r.res.Rejected++
+		s.remaining++ // retry does not consume the op budget
+		r.c.eng.After(time.Millisecond, s.next)
+		return
+	case proto.Aborted:
+		// Hermes guarantees aborted RMWs never applied.
+		r.hist.Discard(comp.OpID)
+		r.res.Aborts++
+	case proto.CASFailed:
+		r.hist.Return(comp.OpID, linear.KCASFail, comp.Value, now)
+		r.res.Ops++
+		r.res.RMWs++
+	default:
+		switch comp.Kind {
+		case proto.OpRead:
+			r.hist.Return(comp.OpID, linear.KRead, comp.Value, now)
+			r.res.Reads++
+		case proto.OpWrite:
+			r.hist.Return(comp.OpID, linear.KWrite, nil, now)
+			r.res.Writes++
+		case proto.OpFAA:
+			r.hist.Return(comp.OpID, linear.KFAA, comp.Value, now)
+			r.res.RMWs++
+		case proto.OpCAS:
+			r.hist.Return(comp.OpID, linear.KCASOk, nil, now)
+			r.res.RMWs++
+		}
+		r.res.Ops++
+	}
+	// Think time: stretches the workload across the fault schedule and keeps
+	// per-key concurrency within what the Wing–Gong search handles happily.
+	r.c.eng.After(time.Duration(50+s.rng.Intn(250))*time.Microsecond, s.next)
+}
+
+// --- epilogue ---
+
+// finalReads issues one read per key at every serving member, one node
+// round at a time, and requires every read to complete: Invalid keys must be
+// driven Valid by the replay machinery, so this is an availability check as
+// much as a convergence check.
+func (r *chaosRun) finalReads(horizon time.Duration) error {
+	var servers []proto.NodeID
+	for _, m := range r.view.Members {
+		if r.alive[m] && r.leased[m] {
+			servers = append(servers, m)
+		}
+	}
+	for _, node := range servers {
+		open := r.cfg.Keys
+		for k := 0; k < r.cfg.Keys; k++ {
+			r.idSeq++
+			id := r.idSeq
+			key := proto.Key(k)
+			r.hist.Invoke(id, key, linear.KRead, nil, nil, r.c.eng.Now())
+			r.c.Submit(node, proto.ClientOp{ID: id, Kind: proto.OpRead, Key: key}, func(comp proto.Completion) {
+				r.hist.Return(comp.OpID, linear.KRead, comp.Value, r.c.eng.Now())
+				open--
+			})
+		}
+		deadline := r.c.eng.Now() + 500*time.Millisecond
+		for open > 0 && r.c.eng.Now() < deadline {
+			r.c.eng.RunUntil(r.c.eng.Now() + time.Millisecond)
+		}
+		if open > 0 {
+			return fmt.Errorf("final reads: %d of %d keys never became readable at node %d (replay with seed %d)",
+				open, r.cfg.Keys, node, r.cfg.Seed)
+		}
+	}
+	return nil
+}
+
+func (r *chaosRun) collectMetrics() {
+	for n := 0; n < r.cfg.Nodes; n++ {
+		rep, ok := r.c.Replica(proto.NodeID(n)).(*ShardedReplica)
+		if !ok || !r.alive[n] {
+			continue
+		}
+		var epochs []uint32
+		for i := 0; i < rep.Shards(); i++ {
+			m := rep.Engine(i).Metrics()
+			r.res.Replays += m.Replays
+			r.res.Retransmits += m.Retransmits
+			r.res.StaleEpochDrops += m.StaleEpochDrops
+			epochs = append(epochs, rep.Engine(i).View().Epoch)
+		}
+		r.res.FinalEpochs = append(r.res.FinalEpochs, epochs)
+	}
+}
+
+// without returns ns minus x (non-destructive).
+func without(ns []proto.NodeID, x proto.NodeID) []proto.NodeID {
+	out := make([]proto.NodeID, 0, len(ns))
+	for _, n := range ns {
+		if n != x {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -369,6 +369,26 @@ func (c *Cluster) CrashAt(id proto.NodeID, t time.Duration) {
 // Crashed reports whether the node has crashed.
 func (c *Cluster) Crashed(id proto.NodeID) bool { return c.hosts[id].crashed }
 
+// Restart revives a crashed host with a fresh replica built by f — a process
+// restart that lost all volatile state, the precondition of the §3.4
+// rejoin-as-learner path. The host's timer loop resumes on the next tick;
+// in-flight messages addressed to the dead incarnation deliver to the new
+// one (the network cannot tell them apart), which is exactly why rejoining
+// replicas start at the current epoch and filter stale traffic. No-op if the
+// host is not crashed.
+func (c *Cluster) Restart(id proto.NodeID, f Factory, view proto.View) {
+	h := c.hosts[id]
+	if !h.crashed {
+		return
+	}
+	h.crashed = false
+	for i := range h.busyUntil {
+		h.busyUntil[i] = 0
+	}
+	h.egress = make(map[proto.NodeID]*egressQueue) // buffered egress died with the process
+	h.rep = f(id, view, hostEnv{h: h})
+}
+
 // InstallView force-installs a view at every live host (used when RM is
 // disabled but a test still wants an m-update).
 func (c *Cluster) InstallView(v proto.View) {

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// ShardedReplica is the simulator's counterpart of cluster.ShardedNode: one
+// host running W independent core.Hermes engines, each owning the keyspace
+// partition proto.ShardOf selects, with per-shard membership epochs. Where
+// the live node gives every engine its own event-loop goroutine, the
+// simulator is single-threaded — the engines are simply distinct state
+// machines behind one Replica facade, and CPU parallelism (when wanted) is
+// modeled separately by Config.Workers.
+//
+// The wire shape matches the live runtime exactly: outgoing messages wrap in
+// proto.ShardMsg (elided at W=1), arriving tagged messages deliver only when
+// the tag matches the local owner of the key they carry, and a proto.MUpdate
+// installs on exactly the shards it addresses. That makes the chaos harness
+// exercise the same routing and per-shard epoch filtering the live cluster
+// ships.
+type ShardedReplica struct {
+	id      proto.NodeID
+	w       int
+	engines []*core.Hermes
+}
+
+// ShardedReplicaConfig parameterizes NewShardedReplica. The embedded toggles
+// mean what they do on core.Config.
+type ShardedReplicaConfig struct {
+	Shards                     int
+	MLT                        time.Duration
+	ElideVAL, EarlyACKs, NoLSC bool
+	// Learner starts every engine as a shadow replica (§3.4 Recovery) — the
+	// state a crashed node rejoins in.
+	Learner bool
+}
+
+// shardReplicaEnv is one engine's window to the host env: it tags outgoing
+// messages with the engine's shard index (unless W=1, which stays
+// wire-identical to an unsharded replica).
+type shardReplicaEnv struct {
+	env proto.Env
+	idx uint16
+	w   int
+}
+
+func (e shardReplicaEnv) Now() time.Duration { return e.env.Now() }
+func (e shardReplicaEnv) Send(to proto.NodeID, msg any) {
+	if e.w == 1 {
+		e.env.Send(to, msg)
+		return
+	}
+	e.env.Send(to, proto.ShardMsg{Shard: e.idx, Msg: msg})
+}
+func (e shardReplicaEnv) Complete(c proto.Completion) { e.env.Complete(c) }
+
+// NewShardedReplica builds a W-engine replica for host id on env.
+func NewShardedReplica(id proto.NodeID, view proto.View, env proto.Env, cfg ShardedReplicaConfig) *ShardedReplica {
+	w := cfg.Shards
+	if w < 1 {
+		w = 1
+	}
+	r := &ShardedReplica{id: id, w: w}
+	for i := 0; i < w; i++ {
+		r.engines = append(r.engines, core.New(core.Config{
+			ID: id, View: view.Clone(),
+			Env: shardReplicaEnv{env: env, idx: uint16(i), w: w},
+			MLT: cfg.MLT, ElideVAL: cfg.ElideVAL, EarlyACKs: cfg.EarlyACKs,
+			NoLSC: cfg.NoLSC, Learner: cfg.Learner,
+		}))
+	}
+	return r
+}
+
+// ID implements proto.Replica.
+func (r *ShardedReplica) ID() proto.NodeID { return r.id }
+
+// Shards returns the worker count W.
+func (r *ShardedReplica) Shards() int { return r.w }
+
+// Engine exposes shard i's state machine (metrics, tests).
+func (r *ShardedReplica) Engine(i int) *core.Hermes { return r.engines[i] }
+
+// Submit implements proto.Replica: ops route to the engine owning the key.
+func (r *ShardedReplica) Submit(op proto.ClientOp) {
+	r.engines[proto.ShardOf(op.Key, r.w)].Submit(op)
+}
+
+// Deliver implements proto.Replica, mirroring cluster.ShardedNode.dispatch:
+// batches fan out, tagged messages pass the tag-vs-owner check, m-updates
+// install on the shards they address, untagged traffic routes by key.
+func (r *ShardedReplica) Deliver(from proto.NodeID, msg any) {
+	switch m := msg.(type) {
+	case proto.ShardBatch:
+		for _, sm := range m.Msgs {
+			r.deliverTagged(from, sm)
+		}
+	case proto.ShardMsg:
+		r.deliverTagged(from, m)
+	case proto.MUpdate:
+		switch {
+		case m.Shard == proto.AllShards:
+			for _, e := range r.engines {
+				e.OnViewChange(m.View)
+			}
+		case int(m.Shard) < r.w:
+			r.engines[m.Shard].OnViewChange(m.View)
+		}
+	default:
+		r.engines[r.ownerOf(msg, 0)].Deliver(from, msg)
+	}
+}
+
+func (r *ShardedReplica) deliverTagged(from proto.NodeID, sm proto.ShardMsg) {
+	if int(sm.Shard) < r.w && r.ownerOf(sm.Msg, sm.Shard) == sm.Shard {
+		r.engines[sm.Shard].Deliver(from, sm.Msg)
+	}
+}
+
+// ownerOf maps a message to the local shard owning it — key-carrying
+// messages by hash, instance-scoped traffic keeps the default tag.
+func (r *ShardedReplica) ownerOf(msg any, dflt uint16) uint16 {
+	if r.w == 1 {
+		return 0
+	}
+	switch m := msg.(type) {
+	case core.INV:
+		return proto.ShardOf(m.Key, r.w)
+	case core.ACK:
+		return proto.ShardOf(m.Key, r.w)
+	case core.VAL:
+		return proto.ShardOf(m.Key, r.w)
+	}
+	return dflt
+}
+
+// Tick implements proto.Replica.
+func (r *ShardedReplica) Tick() {
+	for _, e := range r.engines {
+		e.Tick()
+	}
+}
+
+// OnViewChange implements proto.Replica: the node-wide m-update fans out to
+// every shard (what a membership agent's decision does).
+func (r *ShardedReplica) OnViewChange(v proto.View) {
+	for _, e := range r.engines {
+		e.OnViewChange(v)
+	}
+}
+
+// InstallShard advances a single shard's membership epoch, leaving the other
+// shards untouched — the localized reconfiguration the chaos harness storms.
+func (r *ShardedReplica) InstallShard(shard int, v proto.View) {
+	r.engines[shard].OnViewChange(v)
+}
+
+// SetOperational flips the RM lease on every engine (lease loss is a
+// node-level event).
+func (r *ShardedReplica) SetOperational(ok bool) {
+	for _, e := range r.engines {
+		e.SetOperational(ok)
+	}
+}
+
+// CaughtUp reports whether every learner engine finished state transfer.
+func (r *ShardedReplica) CaughtUp() bool {
+	for _, e := range r.engines {
+		if !e.CaughtUp() {
+			return false
+		}
+	}
+	return true
+}
+
+// ShardEpochs reports each engine's current membership epoch; with per-shard
+// installs they may legitimately differ.
+func (r *ShardedReplica) ShardEpochs() []uint32 {
+	out := make([]uint32, r.w)
+	for i, e := range r.engines {
+		out[i] = e.View().Epoch
+	}
+	return out
+}

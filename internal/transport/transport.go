@@ -59,8 +59,15 @@ func isOneWay(m any) bool {
 	if sm, ok := m.(proto.ShardMsg); ok {
 		m = sm.Msg
 	}
-	_, val := m.(core.VAL)
-	return val
+	switch m.(type) {
+	case core.VAL, proto.MUpdate:
+		// Both consume a credit and draw no response; without counting them
+		// toward explicit grants each one would shrink the send window
+		// permanently (MUpdates are rare, but reconfiguration storms are
+		// exactly when the window must not erode).
+		return true
+	}
+	return false
 }
 
 // isResponse implements the credit discipline's response classification. A

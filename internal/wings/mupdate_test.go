@@ -1,0 +1,153 @@
+package wings
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// m-updates cross the wire between nodes that may disagree about views,
+// shard counts and epochs — exactly the traffic an adversary (or a confused
+// peer mid-reconfiguration) can mangle. This suite mirrors fuzz_test.go for
+// the tMUpdate codec: round trips, hostile counts, truncations and nesting.
+
+func TestMUpdateRoundTrips(t *testing.T) {
+	msgs := []proto.MUpdate{
+		{Shard: 0, View: proto.View{Epoch: 1, Members: []proto.NodeID{0, 1, 2}}},
+		{Shard: 3, View: proto.View{Epoch: 42,
+			Members: []proto.NodeID{0, 2}, Learners: []proto.NodeID{1}}},
+		// AllShards and epoch extremes must survive unchanged.
+		{Shard: proto.AllShards, View: proto.View{Epoch: ^uint32(0),
+			Members: []proto.NodeID{7}}},
+		// Empty member/learner lists round-trip as nil (the View zero shape).
+		{Shard: 1, View: proto.View{Epoch: 0}},
+		// A view mentioning the NilNode sentinel is preserved verbatim — the
+		// codec routes bytes, it does not validate membership semantics.
+		{Shard: 9, View: proto.View{Epoch: 3, Members: []proto.NodeID{proto.NilNode}}},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, m)
+		}
+	}
+}
+
+// A hostile member or learner count larger than the bytes actually present
+// must fail without driving the preallocation (the tShardBatch discipline).
+func TestMUpdateHostileCounts(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		body []byte
+	}{
+		{"member count with no members", mupdateBody(5, 1, 0xFFFF, nil, 0, nil)},
+		{"member count beyond body", mupdateBody(5, 1, 8, []byte{0, 1, 2}, 0, nil)},
+		{"learner count beyond body", mupdateBody(5, 1, 1, []byte{0}, 0x7FFF, []byte{9})},
+		{"truncated member list", mupdateBody(5, 1, 3, []byte{0, 1}, 0, nil)[:9]},
+		{"missing learner count", mupdateBody(5, 1, 1, []byte{0}, 0, nil)[:9]},
+		{"empty body", nil},
+		{"epoch only", []byte{1, 0, 0, 0}},
+	} {
+		if _, err := decodeMsg(tMUpdate, tc.body); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("%s: err=%v, want unexpected EOF", tc.name, err)
+		}
+	}
+}
+
+// mupdateBody hand-builds a tMUpdate payload with arbitrary (possibly lying)
+// counts.
+func mupdateBody(epoch uint32, shard, nMembers uint16, members []byte, nLearners uint16, learners []byte) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, epoch)
+	b = binary.LittleEndian.AppendUint16(b, shard)
+	b = binary.LittleEndian.AppendUint16(b, nMembers)
+	b = append(b, members...)
+	b = binary.LittleEndian.AppendUint16(b, nLearners)
+	return append(b, learners...)
+}
+
+// Out-of-range shard ids are a wire-legal value — range checking is the
+// receiving node's dispatch decision (it knows its own W), not the codec's.
+func TestMUpdateOutOfRangeShardDecodes(t *testing.T) {
+	in := proto.MUpdate{Shard: 0xFFFE, View: proto.View{Epoch: 2, Members: []proto.NodeID{0}}}
+	got := roundTrip(t, in)
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v want %+v", got, in)
+	}
+}
+
+// MUpdate carries its own routing; a shard envelope around it is always a
+// corrupt or hostile stream. Both directions must refuse it.
+func TestMUpdateNeverNestsInShardEnvelopes(t *testing.T) {
+	mu := proto.MUpdate{Shard: 1, View: proto.View{Epoch: 2, Members: []proto.NodeID{0}}}
+	if _, err := Encode(proto.ShardMsg{Shard: 1, Msg: mu}); err == nil {
+		t.Fatal("encoder accepted MUpdate inside ShardMsg")
+	}
+	if _, err := Encode(proto.ShardBatch{Msgs: []proto.ShardMsg{{Shard: 1, Msg: mu}}}); err == nil {
+		t.Fatal("encoder accepted MUpdate inside ShardBatch")
+	}
+	// Craft the hostile bytes a conforming encoder refuses to produce:
+	// [2B shard][1B tMUpdate][4B len][payload].
+	inner, err := appendMsg(nil, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged := binary.LittleEndian.AppendUint16(nil, 1)
+	tagged = append(tagged, inner...)
+	if _, err := decodeMsg(tShard, tagged); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("decoder on shard-tagged MUpdate: err=%v, want ErrUnknownType", err)
+	}
+}
+
+// Random bytes and bit-flipped valid frames must never panic — the tMUpdate
+// arm joins the blanket fuzz in fuzz_test.go, plus targeted volume here.
+func TestMUpdateDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, rng.Intn(64))
+		rng.Read(buf)
+		_, _ = decodeMsg(tMUpdate, buf)
+	}
+	valid, err := Encode(proto.MUpdate{Shard: 2, View: proto.View{Epoch: 7,
+		Members: []proto.NodeID{0, 1, 2, 3, 4}, Learners: []proto.NodeID{5, 6}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		f := append([]byte(nil), valid...)
+		f[rng.Intn(len(f))] ^= 1 << uint(rng.Intn(8))
+		_, _ = DecodeOne(f)
+	}
+}
+
+// An m-update must also survive the full framed link path among other
+// traffic (the route live reconfiguration actually takes).
+func TestMUpdateOverLink(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	sender := NewLink(a, LinkConfig{})
+	recv := NewLink(b, LinkConfig{})
+	got := make(chan any, 1)
+	go recv.Serve(b, func(m any) { got <- m })
+
+	mu := proto.MUpdate{Shard: proto.AllShards,
+		View: proto.View{Epoch: 5, Members: []proto.NodeID{0, 1, 2}, Learners: []proto.NodeID{3}}}
+	if err := sender.Send(mu); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if !reflect.DeepEqual(m, mu) {
+			t.Fatalf("received %+v, want %+v", m, mu)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("m-update never arrived over the link")
+	}
+}

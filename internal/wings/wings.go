@@ -52,6 +52,11 @@ const (
 	// proto.ShardBatch envelope. Payload:
 	// [2B count] then per entry [2B shard][1B inner type][4B len][payload].
 	tShardBatch
+	// tMUpdate is a shard-routable membership update (proto.MUpdate):
+	// [4B epoch][2B target shard][2B member count][members, 1B each]
+	// [2B learner count][learners, 1B each]. Node-level routing — it never
+	// nests inside a shard envelope (the shard field IS the routing tag).
+	tMUpdate
 )
 
 // maxFrame bounds a frame's size (defense against corrupt streams).
@@ -133,6 +138,21 @@ func appendMsg(buf []byte, msg any) ([]byte, error) {
 				return nil, err
 			}
 		}
+	case proto.MUpdate:
+		t = tMUpdate
+		if len(m.View.Members) > 0xFFFF || len(m.View.Learners) > 0xFFFF {
+			return nil, fmt.Errorf("wings: oversized view in MUpdate")
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, m.View.Epoch)
+		buf = binary.LittleEndian.AppendUint16(buf, m.Shard)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.View.Members)))
+		for _, n := range m.View.Members {
+			buf = append(buf, byte(n))
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.View.Learners)))
+		for _, n := range m.View.Learners {
+			buf = append(buf, byte(n))
+		}
 	default:
 		return nil, fmt.Errorf("wings: cannot encode %T", msg)
 	}
@@ -141,11 +161,12 @@ func appendMsg(buf []byte, msg any) ([]byte, error) {
 	return buf, nil
 }
 
-// nestedEnvelope reports whether msg is itself a routing envelope; the
-// encoders wrap exactly one level.
+// nestedEnvelope reports whether msg must not nest inside a shard envelope:
+// the envelopes themselves (the encoders wrap exactly one level) and
+// MUpdate, which carries its own shard routing and is node-level traffic.
 func nestedEnvelope(msg any) bool {
 	switch msg.(type) {
-	case proto.ShardMsg, proto.ShardBatch:
+	case proto.ShardMsg, proto.ShardBatch, proto.MUpdate:
 		return true
 	}
 	return false
@@ -234,6 +255,30 @@ func (r *reader) bytes() []byte {
 
 func (r *reader) ts() proto.TS { return proto.TS{Version: r.u32(), CID: r.u16()} }
 
+// nodeIDs reads a [2B count][1B id]... node list. The count is validated
+// against the bytes actually present before any allocation, so a hostile
+// count cannot drive the preallocation (the same discipline as tShardBatch);
+// a truncated list surfaces as ErrUnexpectedEOF via r.err.
+func (r *reader) nodeIDs() []proto.NodeID {
+	n := int(r.u16())
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]proto.NodeID, n)
+	for i := 0; i < n; i++ {
+		out[i] = proto.NodeID(r.b[r.off+i])
+	}
+	r.off += n
+	return out
+}
+
 // decodeMsg decodes one message body of the given type.
 func decodeMsg(t uint8, body []byte) (any, error) {
 	r := &reader{b: body}
@@ -265,6 +310,13 @@ func decodeMsg(t uint8, body []byte) (any, error) {
 			rec.Value = r.bytes()
 			m.Recs = append(m.Recs, rec)
 		}
+		msg = m
+	case tMUpdate:
+		m := proto.MUpdate{}
+		m.View.Epoch = r.u32()
+		m.Shard = r.u16()
+		m.View.Members = r.nodeIDs()
+		m.View.Learners = r.nodeIDs()
 		msg = m
 	case tShard:
 		sm, err := decodeTagged(r)
@@ -317,8 +369,9 @@ func decodeTagged(r *reader) (proto.ShardMsg, error) {
 	it := r.b[r.off]
 	// The encoders wrap exactly one level; a nested envelope only occurs in
 	// a corrupt or hostile stream, and recursing on it unboundedly would let
-	// a 16 MB frame blow the stack.
-	if it == tShard || it == tShardBatch || it == tCredit {
+	// a 16 MB frame blow the stack. MUpdate is node-level routing: a
+	// shard-tagged one is equally hostile.
+	if it == tShard || it == tShardBatch || it == tCredit || it == tMUpdate {
 		return proto.ShardMsg{}, ErrUnknownType
 	}
 	n := int(binary.LittleEndian.Uint32(r.b[r.off+1:]))

@@ -37,6 +37,8 @@ func sampleMessages() []any {
 		core.ChunkResp{Epoch: 1, Cursor: 514, Done: true,
 			Keys: []proto.Key{5},
 			Recs: []core.ChunkRec{{TS: proto.TS{Version: 2}, Value: proto.Value("a")}}},
+		proto.MUpdate{Shard: 2, View: proto.View{Epoch: 9,
+			Members: []proto.NodeID{0, 1, 2}, Learners: []proto.NodeID{4}}},
 	}
 }
 
