@@ -58,7 +58,7 @@ func main() {
 			func() fmt.Stringer { return bench.ShardScaling(sc) }},
 		{"reads", "LIVE lock-free read fast path: throughput vs client goroutines with hit rate (§4.1)",
 			func() fmt.Stringer { return bench.ReadScaling(sc) }},
-		{"reconfig", "LIVE per-shard membership epochs: untouched-shard availability during one shard's install storm (§3.4)",
+		{"reconfig", "LIVE reconfiguration availability: per-shard install storms + staggered vs simultaneous full-view rollouts (§3.4-3.6)",
 			func() fmt.Stringer { return bench.ReconfigAvailability(sc) }},
 		{"ablation-o1", "O1: VAL elision savings (paper §3.3)",
 			func() fmt.Stringer { return bench.AblationO1(sc) }},

@@ -232,27 +232,232 @@ func RunReconfigPoint(shards int, global bool, dur time.Duration) ReconfigPointR
 	return res
 }
 
+// RolloutPointResult is one measured full-view rollout storm: every issued
+// view reconfigures ALL shards (the membership agent's node-wide decision),
+// either staggered one gate at a time through cluster.RolloutController or
+// installed on every shard simultaneously (the pre-controller behaviour).
+// Reads/writes are aggregated across all shards — with full-view rollouts
+// there is no untouched shard, so the aggregate is the availability number.
+type RolloutPointResult struct {
+	Shards    int
+	Issued    uint64 // views fed to the nodes
+	Installed uint64 // per-shard installs actually performed (node 0)
+	Skipped   uint64 // installs skipped by supersede fast-forward (node 0)
+
+	BaseReads, StormReads   uint64
+	BaseWrites, StormWrites uint64
+	StormHits, StormMisses  uint64
+
+	EpochsAfter []uint32
+}
+
+// AggReadRetention is the acceptance number: storm-window aggregate read
+// throughput as a fraction of baseline.
+func (r RolloutPointResult) AggReadRetention() float64 {
+	if r.BaseReads == 0 {
+		return 0
+	}
+	return float64(r.StormReads) / float64(r.BaseReads)
+}
+
+// AggWriteRetention is the write-side analogue.
+func (r RolloutPointResult) AggWriteRetention() float64 {
+	if r.BaseWrites == 0 {
+		return 0
+	}
+	return float64(r.StormWrites) / float64(r.BaseWrites)
+}
+
+// StormHitRate is the aggregate fast-path hit rate during the storm.
+func (r RolloutPointResult) StormHitRate() float64 {
+	total := r.StormHits + r.StormMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.StormHits) / float64(total)
+}
+
+// RunRolloutPoint stands up a live 3-replica, `shards`-shard group under
+// per-shard readers and writers on node 0, measures a baseline window, then
+// sustains a full-view install storm — every view addressed to every shard —
+// for a second window. With staggered=true each node runs a
+// RolloutController (at most one gate shut at any moment, coolest shard
+// first, newest view wins mid-roll); with staggered=false every view shuts
+// all W gates at once on every node.
+func RunRolloutPoint(shards int, staggered bool, dur time.Duration) RolloutPointResult {
+	grp := cluster.NewShardedLocal(cluster.LocalConfig{N: 3, MLT: 2 * time.Millisecond}, shards)
+	defer grp.Close()
+	ctx := context.Background()
+	node := grp.Nodes[0]
+
+	var rcs []*cluster.RolloutController
+	if staggered {
+		for _, n := range grp.Nodes {
+			rc := cluster.NewRolloutController(n, cluster.RolloutConfig{})
+			defer rc.Close()
+			rcs = append(rcs, rc)
+		}
+	}
+
+	shardKeys := make([][]proto.Key, shards)
+	for k := proto.Key(0); k < reconfigKeys; k++ {
+		s := proto.ShardOf(k, shards)
+		shardKeys[s] = append(shardKeys[s], k)
+		if err := node.Write(ctx, k, proto.Value("rollout-seed")); err != nil {
+			panic(fmt.Sprintf("bench: preload: %v", err))
+		}
+	}
+
+	reads := make([]atomic.Uint64, shards)
+	writes := make([]atomic.Uint64, shards)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			keys := shardKeys[s]
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := node.Read(ctx, keys[i%len(keys)]); err == nil {
+					reads[s].Add(1)
+				}
+				runtime.Gosched() // see RunReconfigPoint
+			}
+		}(s)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			keys := shardKeys[s]
+			val := proto.Value("rollout-write-32-byte-payload!!!")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				wctx, cancel := context.WithTimeout(ctx, time.Second)
+				err := node.Write(wctx, keys[i%len(keys)], val)
+				cancel()
+				if err == nil {
+					writes[s].Add(1)
+				}
+			}
+		}(s)
+	}
+
+	snap := func() (rd, wr, hit, miss uint64) {
+		for s := 0; s < shards; s++ {
+			rd += reads[s].Load()
+			wr += writes[s].Load()
+			_, h, m := node.Shard(s).ReadStats()
+			hit += h
+			miss += m
+		}
+		return
+	}
+
+	time.Sleep(dur / 4) // warm-up
+	r0, w0, _, _ := snap()
+	time.Sleep(dur)
+	r1, w1, h1, m1 := snap()
+
+	res := RolloutPointResult{Shards: shards}
+	epoch := uint32(1)
+	deadline := time.Now().Add(dur)
+	for time.Now().Before(deadline) {
+		epoch++
+		v := proto.View{Epoch: epoch, Members: []proto.NodeID{0, 1, 2}}
+		if staggered {
+			for _, rc := range rcs {
+				rc.OnView(v)
+			}
+		} else {
+			for _, n := range grp.Nodes {
+				n.InstallView(v)
+			}
+		}
+		res.Issued++
+		time.Sleep(reconfigInstallEvery)
+	}
+	r2, w2, h2, m2 := snap()
+	if staggered {
+		st := rcs[0].Stats()
+		res.Installed, res.Skipped = st.ShardInstalls, st.SkippedInstalls
+	} else {
+		res.Installed = res.Issued * uint64(shards)
+	}
+	close(stop)
+	wg.Wait()
+
+	res.BaseReads, res.BaseWrites = r1-r0, w1-w0
+	res.StormReads, res.StormWrites = r2-r1, w2-w1
+	res.StormHits, res.StormMisses = h2-h1, m2-m1
+	res.EpochsAfter = node.ShardEpochs()
+	return res
+}
+
 // ReconfigAvailability is `hermes-bench -exp reconfig`: one row per install
-// mode, reporting what the storm cost the hot shard and — the headline —
-// what it cost the shards it never touched.
+// mode. The per-shard/global pair reproduces the PR 4 experiment (a storm
+// on ONE shard; the headline is what the untouched shards keep); the
+// rollout pair storms FULL views through every shard and compares the
+// staggered controller against simultaneous all-gates installs — there the
+// aggregate read retention is the headline, and hot/untouched columns do
+// not apply.
 func ReconfigAvailability(sc Scale) *stats.Table {
 	t := &stats.Table{Header: []string{
-		"mode", "installs", "hot-rd-ret%", "hot-hit%",
-		"untouched-rd-ret%", "untouched-hit%", "untouched-wr-ret%",
+		"mode", "rollout", "installs", "agg-rd-ret%", "agg-wr-ret%", "agg-hit%",
+		"hot-rd-ret%", "untouched-rd-ret%", "untouched-hit%", "untouched-wr-ret%",
 	}}
 	dur := readBenchDur(sc)
+	pct := func(v float64) string { return fmt.Sprintf("%.1f", 100*v) }
 	for _, global := range []bool{false, true} {
 		mode := "per-shard"
 		if global {
 			mode = "global"
 		}
 		r := RunReconfigPoint(4, global, dur)
-		t.AddRow(mode, r.Installs,
-			fmt.Sprintf("%.1f", 100*r.ReadRetention(r.Hot)),
-			fmt.Sprintf("%.1f", 100*r.StormHitRate(r.Hot)),
-			fmt.Sprintf("%.1f", 100*r.UntouchedMinReadRetention()),
-			fmt.Sprintf("%.1f", 100*r.UntouchedMinStormHitRate()),
-			fmt.Sprintf("%.1f", 100*r.UntouchedMinWriteRetention()))
+		aggBase, aggStorm := uint64(0), uint64(0)
+		aggWrBase, aggWrStorm := uint64(0), uint64(0)
+		hits, misses := uint64(0), uint64(0)
+		for s := 0; s < r.Shards; s++ {
+			aggBase += r.BaseReads[s]
+			aggStorm += r.StormReads[s]
+			aggWrBase += r.BaseWrites[s]
+			aggWrStorm += r.StormWrites[s]
+			hits += r.StormHits[s]
+			misses += r.StormMisses[s]
+		}
+		aggRet, aggWrRet, aggHit := 0.0, 0.0, 0.0
+		if aggBase > 0 {
+			aggRet = float64(aggStorm) / float64(aggBase)
+		}
+		if aggWrBase > 0 {
+			aggWrRet = float64(aggWrStorm) / float64(aggWrBase)
+		}
+		if hits+misses > 0 {
+			aggHit = float64(hits) / float64(hits+misses)
+		}
+		t.AddRow(mode, "-", r.Installs,
+			pct(aggRet), pct(aggWrRet), pct(aggHit),
+			pct(r.ReadRetention(r.Hot)),
+			pct(r.UntouchedMinReadRetention()),
+			pct(r.UntouchedMinStormHitRate()),
+			pct(r.UntouchedMinWriteRetention()))
+	}
+	for _, staggered := range []bool{true, false} {
+		rollout := "staggered"
+		if !staggered {
+			rollout = "simultaneous"
+		}
+		r := RunRolloutPoint(4, staggered, dur)
+		t.AddRow("full-view", rollout, r.Issued,
+			pct(r.AggReadRetention()), pct(r.AggWriteRetention()), pct(r.StormHitRate()),
+			"-", "-", "-", "-")
 	}
 	return t
 }

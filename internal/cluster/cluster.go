@@ -139,6 +139,10 @@ type Node struct {
 	stop   chan struct{}
 	wg     sync.WaitGroup
 	nextOp atomic.Uint64
+	// updates counts submitted update ops (writes, CAS, FAA); together with
+	// the read counters it is the live load signal the rollout controller
+	// orders shards by.
+	updates atomic.Uint64
 
 	mu      sync.Mutex
 	waiters map[uint64]chan proto.Completion
@@ -198,14 +202,32 @@ func NewNode(cfg NodeConfig, tr Transport) *Node {
 		MLT: cfg.MLT, ElideVAL: cfg.ElideVAL, EarlyACKs: cfg.EarlyACKs, NoLSC: cfg.NoLSC,
 	})
 	tr.SetDeliver(cfg.ID, func(from proto.NodeID, msg any) {
-		if mu, ok := msg.(proto.MUpdate); ok {
+		switch m := msg.(type) {
+		case proto.MUpdate:
 			// A wire m-update never reaches the protocol state machine; it is
 			// host-level routing. A plain node is its own shard 0, so it
 			// accepts updates addressed to shard 0 or to all shards and drops
 			// the rest (a mis-addressed update stalls safely, like a
 			// mis-tagged ShardMsg).
-			if mu.Shard == 0 || mu.Shard == proto.AllShards {
-				n.installAsync(mu.View)
+			if m.Shard == 0 || m.Shard == proto.AllShards {
+				n.installAsync(m.View)
+			}
+			return
+		case proto.ViewLogReq:
+			// A plain node retains no view log (that is the rollout
+			// controller's job on sharded nodes), but it must still answer:
+			// the request consumed a send credit on the requester's link that
+			// only a response repays, and an empty ViewLogResp is the legal
+			// "nothing newer". Replied off the pump goroutine — a blocking
+			// send must not stall inbound delivery.
+			go n.tr.Send(n.id, from, proto.ViewLogResp{})
+			return
+		case proto.ViewLogResp:
+			// A fast-forward answer replays like the m-updates it carries.
+			for _, up := range m.Updates {
+				if up.Shard == 0 || up.Shard == proto.AllShards {
+					n.installAsync(up.View)
+				}
 			}
 			return
 		}
@@ -370,8 +392,19 @@ var completionChPool = sync.Pool{
 	New: func() any { return make(chan proto.Completion, 1) },
 }
 
+// LoadStats reports the node's live client-op counters — total reads served
+// (fast path + event loop) and update ops submitted — safe mid-traffic. The
+// rollout controller orders shards by deltas of reads+updates.
+func (n *Node) LoadStats() (reads, updates uint64) {
+	r, _, _ := n.h.ReadStats()
+	return r, n.updates.Load()
+}
+
 func (n *Node) do(ctx context.Context, op proto.ClientOp) (proto.Completion, error) {
 	op.ID = n.nextOp.Add(1)
+	if op.Kind.IsUpdate() {
+		n.updates.Add(1)
+	}
 	ch := completionChPool.Get().(chan proto.Completion)
 	n.mu.Lock()
 	n.waiters[op.ID] = ch

@@ -1,0 +1,387 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// The rollout controller: agent-decided views staggered across shards by
+// live load, at most one read gate shut at a time, idempotent redelivery,
+// node-wide fencing on removal, and view-log fast-forward for laggards.
+
+func view3(e uint32) proto.View {
+	return proto.View{Epoch: e, Members: []proto.NodeID{0, 1, 2}}
+}
+
+// TestRolloutOrdersByLoadOneGateAtATime pins the two tentpole properties of
+// a roll: shards install coolest-first (per the live read/write counters),
+// and whenever the next shard's install begins, every other shard's gate is
+// open again — at most one gate is ever shut.
+func TestRolloutOrdersByLoadOneGateAtATime(t *testing.T) {
+	const w = 4
+	l := NewShardedLocal(LocalConfig{N: 3}, w)
+	defer l.Close()
+	ctx := context.Background()
+	sn := l.Nodes[0]
+	keys := keysOnDistinctShards(w)
+	for _, k := range keys {
+		if err := sn.Write(ctx, k, proto.Value("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var mu sync.Mutex
+	var order []int
+	rc := NewRolloutController(sn, RolloutConfig{})
+	defer rc.Close()
+	rc.onInstall = func(s int, v proto.View) {
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+		// The hook fires before shard s's gate shuts; every gate must be
+		// open here — the previous install's transition completed before
+		// this one begins.
+		for j := 0; j < w; j++ {
+			if !sn.Shard(j).h.ReadGate().Allowed() {
+				t.Errorf("shard %d's gate shut while shard %d's install begins", j, s)
+			}
+		}
+	}
+
+	// Skew the load after the controller snapshotted its baseline:
+	// shard order by reads becomes 3 < 1 < 2 < 0.
+	reads := map[int]int{0: 40, 1: 10, 2: 30, 3: 0}
+	for s, n := range reads {
+		for i := 0; i < n; i++ {
+			if _, err := sn.Read(ctx, keys[s]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	rc.OnView(view3(2))
+	waitEpochs(t, func() bool {
+		for _, e := range sn.ShardEpochs() {
+			if e != 2 {
+				return false
+			}
+		}
+		return true
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{3, 1, 2, 0}
+	if len(order) != len(want) {
+		t.Fatalf("installed %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("install order %v, want coolest-first %v", order, want)
+		}
+	}
+	if st := rc.Stats(); st.Views != 1 || st.ShardInstalls != uint64(w) {
+		t.Fatalf("stats %+v, want 1 view / %d shard installs", st, w)
+	}
+}
+
+// TestRolloutRedeliveryDoesNotReShutGates is the controller-level regression
+// mirroring PR 4's duplicate-install read-gate bug: a redelivered view (a
+// lossy wire re-sends MUpdates, an agent re-fires a commit) must be dropped
+// idempotently — counted, but with no gate shut, no install performed, and
+// the fast path still serving.
+func TestRolloutRedeliveryDoesNotReShutGates(t *testing.T) {
+	const w = 4
+	l := NewShardedLocal(LocalConfig{N: 3}, w)
+	defer l.Close()
+	ctx := context.Background()
+	sn := l.Nodes[0]
+	keys := keysOnDistinctShards(w)
+	for _, k := range keys {
+		if err := sn.Write(ctx, k, proto.Value("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rc := NewRolloutController(sn, RolloutConfig{})
+	defer rc.Close()
+
+	// First delivery arrives over the wire as a node-wide MUpdate — the
+	// dispatch path must route it through the controller, not shut all four
+	// gates at once.
+	l.Tr.Send(1, 0, proto.MUpdate{Shard: proto.AllShards, View: view3(2)})
+	waitEpochs(t, func() bool {
+		for _, e := range sn.ShardEpochs() {
+			if e != 2 {
+				return false
+			}
+		}
+		return true
+	})
+	installs := rc.Stats().ShardInstalls
+
+	// Redeliver the same view: directly and over the wire.
+	rc.OnView(view3(2))
+	l.Tr.Send(1, 0, proto.MUpdate{Shard: proto.AllShards, View: view3(2)})
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for rc.Stats().Redelivered < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := rc.Stats().Redelivered; got != 2 {
+		t.Fatalf("redelivered = %d, want 2", got)
+	}
+	if got := rc.Stats().ShardInstalls; got != installs {
+		t.Fatalf("redelivery performed %d extra installs", got-installs)
+	}
+	for j := 0; j < w; j++ {
+		if !sn.Shard(j).h.ReadGate().Allowed() {
+			t.Fatalf("shard %d's gate shut by a redelivered view", j)
+		}
+	}
+	// And the fast path still serves: every read below must hit.
+	_, h0, _ := sn.Shard(0).ReadStats()
+	if v, err := sn.Read(ctx, keys[0]); err != nil || string(v) != "v" {
+		t.Fatalf("read after redelivery: %q %v", v, err)
+	}
+	if _, h, _ := sn.Shard(0).ReadStats(); h != h0+1 {
+		t.Fatal("read after redelivery missed the fast path")
+	}
+}
+
+// TestRolloutNodeWideFallbackOnRemoval: a view that fences the local node
+// installs on every shard at once — staggering a removal would keep serving
+// shards the new membership no longer sanctions.
+func TestRolloutNodeWideFallbackOnRemoval(t *testing.T) {
+	const w = 4
+	l := NewShardedLocal(LocalConfig{N: 3}, w)
+	defer l.Close()
+	sn := l.Nodes[0]
+	rc := NewRolloutController(sn, RolloutConfig{})
+	defer rc.Close()
+
+	rc.OnView(proto.View{Epoch: 2, Members: []proto.NodeID{1, 2}})
+	waitEpochs(t, func() bool {
+		for _, e := range sn.ShardEpochs() {
+			if e != 2 {
+				return false
+			}
+		}
+		return true
+	})
+	if st := rc.Stats(); st.NodeWideFallbacks != 1 || st.ShardInstalls != 0 {
+		t.Fatalf("stats %+v, want exactly one node-wide fallback and no staggered installs", st)
+	}
+	for j := 0; j < w; j++ {
+		if sn.Shard(j).h.ReadGate().Allowed() {
+			t.Fatalf("shard %d still serving after the view removed this node", j)
+		}
+	}
+	// Re-adding the node resumes the staggered path and reopens the gates.
+	rc.OnView(view3(3))
+	waitEpochs(t, func() bool {
+		for j := 0; j < w; j++ {
+			if !sn.Shard(j).h.ReadGate().Allowed() || sn.ShardEpochs()[j] != 3 {
+				return false
+			}
+		}
+		return true
+	})
+	if st := rc.Stats(); st.ShardInstalls != w {
+		t.Fatalf("re-add rolled %d shard installs, want %d", st.ShardInstalls, w)
+	}
+}
+
+// TestRolloutFastForwardViaViewLog: a node whose controller missed several
+// decided views (its agent was down) pulls the gap from a peer's view log
+// over the transport and fast-forwards every shard — without a restart and
+// without any out-of-band install.
+func TestRolloutFastForwardViaViewLog(t *testing.T) {
+	const w = 4
+	l := NewShardedLocal(LocalConfig{N: 3}, w)
+	defer l.Close()
+	a, b := l.Nodes[0], l.Nodes[1]
+	rcA := NewRolloutController(a, RolloutConfig{})
+	defer rcA.Close()
+	rcB := NewRolloutController(b, RolloutConfig{})
+	defer rcB.Close()
+
+	// Epochs 2..5 reach only node 0's controller (node 1's agent missed the
+	// decisions entirely).
+	for e := uint32(2); e <= 5; e++ {
+		rcA.OnView(view3(e))
+	}
+	waitEpochs(t, func() bool {
+		for _, e := range a.ShardEpochs() {
+			if e != 5 {
+				return false
+			}
+		}
+		return true
+	})
+	for _, e := range b.ShardEpochs() {
+		if e != 1 {
+			t.Fatalf("node 1 advanced to %v without any delivery", b.ShardEpochs())
+		}
+	}
+
+	// Node 1 detects the lag (live: epoch gossip; here: the test) and
+	// fetches the gap from node 0.
+	rcB.FastForward(0)
+	waitEpochs(t, func() bool {
+		for _, e := range b.ShardEpochs() {
+			if e != 5 {
+				return false
+			}
+		}
+		return true
+	})
+	st := rcB.Stats()
+	if st.FFRequests != 1 {
+		t.Fatalf("ffRequests = %d, want 1", st.FFRequests)
+	}
+	if st.FFApplied != 4 {
+		t.Fatalf("ffApplied = %d, want 4 (epochs 2..5)", st.FFApplied)
+	}
+	// A later fetch for a caught-up node applies nothing.
+	rcB.FastForward(0)
+	time.Sleep(20 * time.Millisecond)
+	if got := rcB.Stats().FFApplied; got != 4 {
+		t.Fatalf("caught-up fetch applied %d more entries", got-4)
+	}
+
+	// A node without a controller replays a ViewLogResp through the direct
+	// install path (the default dispatch fallback).
+	c := l.Nodes[2]
+	l.Tr.Send(0, 2, proto.ViewLogResp{Updates: []proto.MUpdate{
+		{Shard: proto.AllShards, View: view3(4)},
+		{Shard: proto.AllShards, View: view3(5)},
+	}})
+	waitEpochs(t, func() bool {
+		for _, e := range c.ShardEpochs() {
+			if e != 5 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestRolloutAttachSeedsEpochFloor: a controller attached to a node that
+// already advanced past epoch 1 must treat late-redelivered older views as
+// redeliveries. The dangerous variant is a stale pre-rejoin removal view:
+// accepted as fresh, it would fence the node through the node-wide
+// fallback and shut every gate.
+func TestRolloutAttachSeedsEpochFloor(t *testing.T) {
+	const w = 4
+	l := NewShardedLocal(LocalConfig{N: 3}, w)
+	defer l.Close()
+	sn := l.Nodes[0]
+	sn.InstallView(view3(3)) // node is at epoch 3 before any controller exists
+	rc := NewRolloutController(sn, RolloutConfig{})
+	defer rc.Close()
+
+	// A lossy wire redelivers the old epoch-2 view that removed this node.
+	rc.OnView(proto.View{Epoch: 2, Members: []proto.NodeID{1, 2}})
+	time.Sleep(20 * time.Millisecond)
+	st := rc.Stats()
+	if st.Redelivered != 1 || st.NodeWideFallbacks != 0 || st.ShardInstalls != 0 {
+		t.Fatalf("stale removal view after attach: stats %+v, want pure redelivery", st)
+	}
+	for j := 0; j < w; j++ {
+		if !sn.Shard(j).h.ReadGate().Allowed() || sn.ShardEpochs()[j] != 3 {
+			t.Fatalf("shard %d fenced or regressed by a stale removal view (epochs %v)",
+				j, sn.ShardEpochs())
+		}
+	}
+}
+
+// TestViewLogReqAlwaysAnswered: every ViewLogReq gets a ViewLogResp — empty
+// when the peer retains nothing — because the request spent a send credit
+// that only the response repays. Both a handler-less ShardedNode and a
+// plain Node must answer.
+func TestViewLogReqAlwaysAnswered(t *testing.T) {
+	const w = 4
+	l := NewShardedLocal(LocalConfig{N: 3}, w)
+	defer l.Close()
+	asker := l.Nodes[0]
+	got := make(chan []proto.MUpdate, 2)
+	asker.SetViewHandlers(&ViewHandlers{
+		FastForward: func(from proto.NodeID, ups []proto.MUpdate) { got <- ups },
+	})
+	defer asker.SetViewHandlers(nil)
+
+	// Node 1 has no handlers attached at all; it must still answer.
+	asker.RequestViewLog(1, proto.ViewLogReq{Shard: proto.AllShards, Since: 0})
+	select {
+	case ups := <-got:
+		if len(ups) != 0 {
+			t.Fatalf("handler-less peer served %d updates from nowhere", len(ups))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler-less ShardedNode never answered the fetch")
+	}
+
+	// A plain (unsharded) node must answer too: pair a plain Node with a
+	// sharded asker on one transport.
+	tr := NewChanTransport([]proto.NodeID{0, 1})
+	defer tr.Close()
+	view := proto.View{Epoch: 1, Members: []proto.NodeID{0, 1}}
+	plain := NewNode(NodeConfig{ID: 0, View: view}, tr)
+	defer plain.Close()
+	asker2 := NewShardedNode(ShardedConfig{ID: 1, View: view, Shards: 4}, tr)
+	defer asker2.Close()
+	asker2.SetViewHandlers(&ViewHandlers{
+		FastForward: func(from proto.NodeID, ups []proto.MUpdate) { got <- ups },
+	})
+	asker2.RequestViewLog(0, proto.ViewLogReq{Shard: 0, Since: 0})
+	select {
+	case ups := <-got:
+		if len(ups) != 0 {
+			t.Fatalf("plain node served %d updates from nowhere", len(ups))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("plain Node never answered the fetch")
+	}
+}
+
+// TestRolloutSupersededMidRoll: a newer view arriving while an older one is
+// mid-roll wins — every shard lands on the newest epoch (skipped epochs are
+// a fast-forward, not a gap) and no shard is left behind.
+func TestRolloutSupersededMidRoll(t *testing.T) {
+	const w = 4
+	l := NewShardedLocal(LocalConfig{N: 3}, w)
+	defer l.Close()
+	sn := l.Nodes[0]
+	gate := make(chan struct{})
+	var once sync.Once
+	rc := NewRolloutController(sn, RolloutConfig{Stagger: 2 * time.Millisecond})
+	defer rc.Close()
+	rc.onInstall = func(s int, v proto.View) {
+		// Block the first install until the superseding view is queued, so
+		// the race is deterministic: v2's roll must abandon after shard one.
+		once.Do(func() { <-gate })
+	}
+
+	rc.OnView(view3(2))
+	rc.OnView(view3(3))
+	close(gate)
+	waitEpochs(t, func() bool {
+		for _, e := range sn.ShardEpochs() {
+			if e != 3 {
+				return false
+			}
+		}
+		return true
+	})
+	st := rc.Stats()
+	if st.Views != 2 {
+		t.Fatalf("views = %d, want 2", st.Views)
+	}
+	// At most one shard saw epoch 2 (the install in flight when v3 arrived);
+	// the rest jumped straight to 3: installs ≤ w+1.
+	if st.ShardInstalls > uint64(w+1) {
+		t.Fatalf("superseded roll performed %d installs, want <= %d", st.ShardInstalls, w+1)
+	}
+}

@@ -63,6 +63,24 @@ type ShardedNode struct {
 	// droppedOut counts messages shed by full coalescer buffers (a stalled
 	// peer); the shard engines' retransmission recovers them.
 	droppedOut atomic.Uint64
+
+	// viewHandlers, when set, intercepts node-level membership traffic: a
+	// rollout controller registers here to receive node-wide wire m-updates
+	// (staggering them across shards instead of the all-gates-at-once fan
+	// out), to answer view-log fetches, and to apply fast-forward responses.
+	viewHandlers atomic.Pointer[ViewHandlers]
+}
+
+// ViewHandlers routes node-level membership traffic to an attached rollout
+// controller (or any other membership host). All fields are optional; a nil
+// handler falls back to the direct install path.
+type ViewHandlers struct {
+	// View receives node-wide (AllShards) wire m-updates.
+	View func(v proto.View)
+	// ViewLog answers a peer's fast-forward fetch with retained updates.
+	ViewLog func(req proto.ViewLogReq) []proto.MUpdate
+	// FastForward receives a view-log answer to this node's own fetch.
+	FastForward func(from proto.NodeID, updates []proto.MUpdate)
 }
 
 // ShardedConfig parameterizes a sharded replica. The embedded per-shard
@@ -289,22 +307,70 @@ func (sn *ShardedNode) dispatch(from proto.NodeID, msg any) {
 	case proto.ShardMsg:
 		sn.dispatchTagged(from, m)
 	case proto.MUpdate:
-		// A wire m-update installs on exactly the shards it addresses — the
-		// per-shard epoch machinery. Installs are asynchronous: the dispatch
-		// pump must not block behind one busy shard's event loop (that would
-		// re-couple the shards the per-shard epochs decouple). Out-of-range
-		// targets drop, like a mis-tagged ShardMsg.
-		switch {
-		case m.Shard == proto.AllShards:
-			for _, s := range sn.shards {
-				s.installAsync(m.View)
-			}
-		case int(m.Shard) < sn.w:
-			sn.shards[m.Shard].installAsync(m.View)
+		sn.applyWireMUpdate(m)
+	case proto.ViewLogReq:
+		// A fast-forward fetch from a rejoining or lagging peer: answer from
+		// the attached view log. ALWAYS answer — an empty ViewLogResp is the
+		// legal "nothing newer" — because the request consumed a send credit
+		// on the requester's link that only the response repays; silently
+		// dropping it would erode the peer's send window one fetch at a
+		// time. The reply leaves on its own goroutine: dispatch runs on the
+		// transport's read pump, and a blocking send (lazy dial, exhausted
+		// credits) must not stall delivery of the data traffic behind it.
+		var ups []proto.MUpdate
+		if h := sn.viewHandlers.Load(); h != nil && h.ViewLog != nil {
+			ups = h.ViewLog(m)
+		}
+		go sn.tr.Send(sn.id, from, proto.ViewLogResp{Updates: ups})
+	case proto.ViewLogResp:
+		// The answer to this node's own fetch: hand it to the controller
+		// (which orders and counts the replay), or replay the entries
+		// directly through the install path a wire MUpdate takes.
+		if h := sn.viewHandlers.Load(); h != nil && h.FastForward != nil {
+			h.FastForward(from, m.Updates)
+			return
+		}
+		for _, up := range m.Updates {
+			sn.applyWireMUpdate(up)
 		}
 	default:
 		sn.deliver[sn.ownerOf(msg, 0)](from, msg)
 	}
+}
+
+// applyWireMUpdate installs a wire m-update on exactly the shards it
+// addresses — the per-shard epoch machinery. Installs are asynchronous: the
+// dispatch pump must not block behind one busy shard's event loop (that
+// would re-couple the shards the per-shard epochs decouple). Out-of-range
+// targets drop, like a mis-tagged ShardMsg. Node-wide (AllShards) updates
+// divert to an attached rollout controller, which rolls them across the
+// shards one gate at a time instead of shutting all W at once.
+func (sn *ShardedNode) applyWireMUpdate(m proto.MUpdate) {
+	switch {
+	case m.Shard == proto.AllShards:
+		if h := sn.viewHandlers.Load(); h != nil && h.View != nil {
+			h.View(m.View)
+			return
+		}
+		for _, s := range sn.shards {
+			s.installAsync(m.View)
+		}
+	case int(m.Shard) < sn.w:
+		sn.shards[m.Shard].installAsync(m.View)
+	}
+}
+
+// SetViewHandlers attaches (or, with nil, detaches) the node-level
+// membership routing hooks. Safe to call while traffic is flowing.
+func (sn *ShardedNode) SetViewHandlers(h *ViewHandlers) {
+	sn.viewHandlers.Store(h)
+}
+
+// RequestViewLog sends a fast-forward fetch to a peer; the answer arrives
+// asynchronously through dispatch (ViewHandlers.FastForward when attached,
+// the direct install path otherwise).
+func (sn *ShardedNode) RequestViewLog(peer proto.NodeID, req proto.ViewLogReq) {
+	sn.tr.Send(sn.id, peer, req)
 }
 
 func (sn *ShardedNode) dispatchTagged(from proto.NodeID, sm proto.ShardMsg) {
@@ -400,6 +466,18 @@ func (sn *ShardedNode) InstallView(v proto.View) {
 // the transition.
 func (sn *ShardedNode) InstallShardView(shard int, v proto.View) {
 	sn.shards[shard].InstallView(v)
+}
+
+// ShardLoads reports each shard's live client-op load (reads + updates
+// served since construction); safe mid-traffic. The rollout controller
+// orders installs by deltas of these.
+func (sn *ShardedNode) ShardLoads() []uint64 {
+	out := make([]uint64, sn.w)
+	for i, s := range sn.shards {
+		r, u := s.LoadStats()
+		out[i] = r + u
+	}
+	return out
 }
 
 // ShardEpochs reports each shard's currently published membership epoch

@@ -504,19 +504,29 @@ func (h *Hermes) applyINV(inv INV) {
 		p := m.pend
 		switch {
 		case p.rmw:
-			if p.hasOp && !p.replay && inv.TS.Version > p.ts.Version+1 && !p.slipped {
+			// The arriving update's base: every update starts from a Valid —
+			// committed — version at its coordinator, one below an RMW's
+			// timestamp and two below a write's (§3.1, §3.6).
+			base := inv.TS.Version - 2
+			if inv.RMW {
+				base = inv.TS.Version - 1
+			}
+			if p.hasOp && !p.replay && base >= p.ts.Version && !p.slipped {
 				// §3.6 verdict, version-jump case: the arriving chain's base
 				// was a COMMITTED version at or above ours. Every commit
 				// gathers ACKs from the full write set — including us — and
 				// this pend being open proves we never acknowledged a rival
 				// from our base (doing so closes the pend right here). So the
-				// committed version p.ts.Version+? the chain built on can only
-				// be our own RMW, committed on our behalf by a §3.4 write
-				// replay whose VAL we missed, then overwritten. Reporting
-				// Aborted would tell the client an applied update had no
-				// effect — a linearizability violation the chaos harness
-				// catches. Report success instead. (A same-base rival —
-				// version ≤ ours+1 — still aborts below; and after a view
+				// committed version the chain built on can only be our own
+				// RMW, committed on our behalf by a §3.4 write replay whose
+				// VAL we missed, then overwritten — by a write two versions
+				// up, or by a rival RMW exactly one version up (the case the
+				// original `> p.ts.Version+1` check missed: an aborted FAA
+				// whose +1 persisted, caught by the chaos harness under
+				// fetch-delayed installs). Reporting Aborted would tell the
+				// client an applied update had no effect — a linearizability
+				// violation. Report success instead. (A same-version rival —
+				// base below ours — still aborts below; and after a view
 				// that excluded us the no-ACK-without-us premise is void, so
 				// `slipped` falls back to the abort verdict.)
 				h.metrics.RMWRecovered++

@@ -168,7 +168,15 @@ func step(state proto.Value, op Op) (bool, proto.Value) {
 	case KWrite:
 		return true, op.Arg
 	case KFAA:
-		if !op.pending() && !equal(state, op.Out) {
+		// FAA reads the state through DecodeInt64, exactly as the protocol
+		// does (missing/short values decode as 0), so the prior-value check
+		// must compare decoded integers, not bytes: an FAA executing against
+		// the implicit initial state reports EncodeInt64(0), which is
+		// byte-unequal to the empty register — demanding byte equality made
+		// such (perfectly linearizable) histories uncheckable and flaked the
+		// live fast-path suite whenever an FAA linearized before the first
+		// write of a key.
+		if !op.pending() && proto.DecodeInt64(state) != proto.DecodeInt64(op.Out) {
 			return false, nil
 		}
 		return true, proto.EncodeInt64(proto.DecodeInt64(state) + proto.DecodeInt64(op.Arg))

@@ -141,7 +141,24 @@ type Agent struct {
 	instances map[uint32]*instance
 	prop      *proposal
 	ballotGen uint64
+
+	// vlog is the bounded view log: every view this agent has installed, in
+	// ascending epoch order, capped at viewLogCap. A node or shard that
+	// skipped epochs replays the gap from a peer's log (proto.ViewLogReq)
+	// instead of wedging on the <=-epoch install guard.
+	vlog []proto.View
+	// redelivered counts installs dropped by the <=-epoch guard: duplicate
+	// deliveries of the current view (a lossy wire redelivers ViewCommits)
+	// and stale ones. Redelivery stays idempotent — OnView never re-fires —
+	// but is observable here.
+	redelivered uint64
 }
+
+// viewLogCap bounds the retained view log. Reconfigurations are rare (node
+// churn, not data-path traffic), so 64 epochs of history is far more than
+// any live gap; a laggard behind by more must have been down long enough
+// that it rejoins through the full learner arc anyway.
+const viewLogCap = 64
 
 // New builds an Agent. The caller must invoke Tick periodically and route
 // membership messages to Deliver.
@@ -168,6 +185,7 @@ func New(cfg Config) *Agent {
 	for _, n := range cfg.All {
 		a.lastHeard[n] = a.env.Now()
 	}
+	a.logView(a.view)
 	return a
 }
 
@@ -443,11 +461,45 @@ func (a *Agent) send(to proto.NodeID, msg any) {
 	a.env.Send(to, msg)
 }
 
+// ViewLog returns the retained views with epochs strictly above since, in
+// ascending epoch order (cloned; callers may hold them across installs).
+// This is what a peer serves to a rejoining or lagging node so it can
+// replay the epochs it missed.
+func (a *Agent) ViewLog(since uint32) []proto.View {
+	var out []proto.View
+	for _, v := range a.vlog {
+		if v.Epoch > since {
+			out = append(out, v.Clone())
+		}
+	}
+	return out
+}
+
+// Redelivered reports how many installs the <=-epoch guard dropped —
+// duplicate or stale ViewCommit deliveries. Redelivery is idempotent (OnView
+// fires once per epoch) but must not be invisible: a rising counter under a
+// steady view is how operators see a peer stuck re-sending.
+func (a *Agent) Redelivered() uint64 { return a.redelivered }
+
+// Proposing reports whether this agent has a reconfiguration proposal in
+// flight (phase 1 or 2 of its Paxos instance).
+func (a *Agent) Proposing() bool { return a.prop != nil }
+
+func (a *Agent) logView(v proto.View) {
+	a.vlog = append(a.vlog, v.Clone())
+	if len(a.vlog) > viewLogCap {
+		// Drop the oldest; copy so the backing array does not pin them.
+		a.vlog = append(a.vlog[:0:0], a.vlog[len(a.vlog)-viewLogCap:]...)
+	}
+}
+
 func (a *Agent) install(v proto.View) {
 	if v.Epoch <= a.view.Epoch {
+		a.redelivered++
 		return
 	}
 	a.view = v.Clone()
+	a.logView(a.view)
 	// Drop consensus state for decided instances.
 	for i := range a.instances {
 		if i <= v.Epoch {
@@ -471,8 +523,12 @@ func contains(ns []proto.NodeID, x proto.NodeID) bool {
 	return false
 }
 
+// without returns ns minus drop in a freshly allocated slice. It must not
+// write through ns: callers pass live view member lists (and cfg.All), and
+// the previous `ns[:0]` in-place filter silently corrupted the caller's
+// slice whenever a proposal dropped nodes.
 func without(ns, drop []proto.NodeID) []proto.NodeID {
-	out := ns[:0]
+	out := make([]proto.NodeID, 0, len(ns))
 	for _, n := range ns {
 		if !contains(drop, n) {
 			out = append(out, n)

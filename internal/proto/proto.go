@@ -326,6 +326,30 @@ type MUpdate struct {
 	View  View
 }
 
+// ViewLogReq asks a peer for the membership updates it has retained with
+// epochs above Since — the fast-forward fetch of a rejoining or lagging
+// shard (§3.5–3.6: a node that missed m-updates while down must learn them
+// from the view service's log, not wedge waiting for a wire delivery that
+// will never be repeated). Shard scopes the request to one shard's gap;
+// AllShards asks for the node-wide history. Like MUpdate this is node-level
+// routing: it never rides a shard envelope and never reaches a protocol
+// state machine.
+type ViewLogReq struct {
+	Shard uint16 // shard whose gap is being filled, or AllShards
+	Since uint32 // return only updates with View.Epoch > Since
+}
+
+// ViewLogResp answers a ViewLogReq with the retained updates, in ascending
+// epoch order. The receiver replays each entry through its normal MUpdate
+// install path — per-shard entries advance one shard, AllShards entries fan
+// out — so fast-forward is literally a replay of the missed installs. Empty
+// Updates means the peer retains nothing newer: the requester is caught up
+// (or the gap outgrew the peer's bounded log and a newer epoch must arrive
+// by other means).
+type ViewLogResp struct {
+	Updates []MUpdate
+}
+
 // ShardOf maps a key to one of w keyspace shards. Every node of a cluster
 // must agree on w: the mapping is what makes "shard s here" and "shard s
 // there" replicas of the same partition. The mixer is splitmix64's

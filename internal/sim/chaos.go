@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/linear"
@@ -47,6 +48,24 @@ type ChaosConfig struct {
 	// pins shard 0, which scenario tests exploit to assert the other shards'
 	// epochs never moved.
 	StormShard int
+
+	// AgentDriven routes every scripted reconfiguration through real
+	// membership.Agents: the script proposes views (ProposeView on the
+	// current coordinator's agent), Paxos decides them over the same lossy
+	// network as the data traffic, and each node's agent commit triggers a
+	// deterministic staggered per-shard rollout ordered by live engine load —
+	// the simulator mirror of cluster.RolloutController. Storms become
+	// node-wide rollout storms (an agent cannot address one shard), so the
+	// single-shard epoch-isolation scenarios keep the default harness mode.
+	AgentDriven bool
+
+	// RejoinBehind, with CrashRejoin, makes the crashed node miss that many
+	// extra membership epochs while it is down and restart with its stale
+	// pre-crash view — so it rejoins RejoinBehind+2 epochs behind and can
+	// only catch up by fetching the peers' view logs (proto.ViewLogReq);
+	// the harness never re-delivers the missed installs. 0 rejoins at the
+	// current view, as a freshly told learner would.
+	RejoinBehind int
 }
 
 func (cfg *ChaosConfig) defaults() {
@@ -94,8 +113,16 @@ type ChaosResult struct {
 	Abandoned                uint64 // ops given up on (crashed server) — pending in the history
 
 	Crashes, Restarts, Promotions int
-	Installs                      int // views issued by the harness
+	Installs                      int // views issued by the harness (or decided by agents)
 	ShardInstalls                 int // single-shard installs among them
+
+	// FastForwards counts view-log fetches issued by lagging shards;
+	// FFServed/FFApplied sum the replicas' log entries served to peers and
+	// fetched entries that actually advanced an epoch. Nonzero FFApplied is
+	// the proof a run recovered skipped epochs through the log rather than a
+	// harness backdoor.
+	FastForwards        uint64
+	FFServed, FFApplied uint64
 
 	Replays, Retransmits, StaleEpochDrops uint64 // summed over engines
 
@@ -147,6 +174,11 @@ type chaosRun struct {
 	view  proto.View // the harness's (= membership service's) current view
 	epoch uint32     // highest epoch issued so far, across all shards
 
+	// shardTarget is the highest epoch issued for each shard; the run must
+	// drive every live shard to its target (awaitConvergence) — with lost
+	// installs recovered through the view-log fetch, not a direct backstop.
+	shardTarget []uint32
+
 	alive       []bool
 	leased      []bool
 	learner     proto.NodeID // node currently rejoining, or NilNode
@@ -173,11 +205,12 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		outstanding: make(map[uint64]func(proto.Completion)),
 	}
 	r.res.History = r.hist
+	r.shardTarget = make([]uint32, cfg.Shards)
 	for i := range r.alive {
 		r.alive[i] = true
 		r.leased[i] = true
 	}
-	r.c = New(Config{
+	simCfg := Config{
 		Nodes: cfg.Nodes,
 		Factory: func(id proto.NodeID, view proto.View, env proto.Env) proto.Replica {
 			return NewShardedReplica(id, view, env, ShardedReplicaConfig{
@@ -187,9 +220,26 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		Net:       cfg.Net,
 		TickEvery: cfg.TickEvery,
 		Seed:      cfg.Seed ^ 0xC0FFEE,
-	})
+	}
+	if cfg.AgentDriven {
+		// Real membership agents decide the views; suspicion and lease
+		// windows are pushed out of reach so the *script* stays the only
+		// source of reconfiguration (the agents' own failure detection would
+		// otherwise race the schedule and break replayability of the
+		// scenario shape).
+		simCfg.RM = &RMParams{
+			HeartbeatEvery: 500 * time.Microsecond,
+			SuspectAfter:   time.Hour,
+			LeaseDur:       time.Hour,
+		}
+		simCfg.OnView = func(id proto.NodeID, v proto.View) { r.onAgentView(id, v) }
+	}
+	r.c = New(simCfg)
 	r.view = r.c.View()
 	r.epoch = r.view.Epoch
+	for s := range r.shardTarget {
+		r.shardTarget[s] = r.epoch
+	}
 
 	// Client sessions: closed-loop read/write/RMW mix.
 	for n := 0; n < cfg.Nodes; n++ {
@@ -216,6 +266,13 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 				r.c.eng.Now(), r.sessionsRun, r.scriptOpen, cfg.Seed)
 		}
 		r.c.eng.RunUntil(r.c.eng.Now() + 5*time.Millisecond)
+	}
+
+	// Epoch convergence: every live shard must reach the highest epoch issued
+	// for it. Installs lost on the wire have exactly one recovery path — the
+	// view-log fetch — so a shard stuck behind here means that path failed.
+	if err := r.awaitConvergence(); err != nil {
+		return r.res, err
 	}
 
 	// Availability epilogue: one read of every key at every serving member,
@@ -272,17 +329,103 @@ func (r *chaosRun) scheduleFaults() {
 // storm issues `bursts` back-to-back view installs targeted at one shard:
 // membership unchanged, epoch advancing each time — the §3.4 transition
 // (gate shut, epoch-tagged filtering, replays of in-flight writes) hammered
-// on one shard while every other shard's epoch never moves.
+// on one shard while every other shard's epoch never moves. In agent-driven
+// mode the bursts are node-wide proposals instead (an agent cannot address
+// one shard); each decision triggers every node's staggered rollout.
 func (r *chaosRun) storm(shard, bursts int, gap time.Duration) {
 	if bursts == 0 {
 		r.scriptOpen--
 		return
 	}
-	r.epoch++
-	v := r.view.Clone()
-	v.Epoch = r.epoch
-	r.install(v, shard)
+	if r.cfg.AgentDriven {
+		if !r.propose(r.view.Members, r.view.Learners) {
+			// The coordinator still has a proposal in flight (or is dead):
+			// retry this burst after the gap instead of dropping it.
+			bursts++
+		}
+	} else {
+		r.epoch++
+		v := r.view.Clone()
+		v.Epoch = r.epoch
+		r.install(v, shard)
+	}
 	r.c.eng.After(gap, func() { r.storm(shard, bursts-1, gap) })
+}
+
+// propose asks the current coordinator's membership agent for a new view;
+// false means no proposal was started (agent busy or missing) and the
+// caller should retry.
+func (r *chaosRun) propose(members, learners []proto.NodeID) bool {
+	coord := r.coordinator()
+	if !r.alive[coord] {
+		return false
+	}
+	a := r.c.Agent(coord)
+	if a == nil || a.Proposing() {
+		return false
+	}
+	a.ProposeView(members, learners)
+	return true
+}
+
+// onAgentView is the Config.OnView hook of agent-driven runs: one node's
+// agent committed view v. It mirrors cluster.RolloutController inside the
+// simulator — record the view in the node's log, then roll it across the
+// node's shards one at a time, coolest engine first (by ops processed),
+// with a fixed stagger. Everything runs on engine events, so the rollout is
+// deterministic and exactly replayable.
+func (r *chaosRun) onAgentView(id proto.NodeID, v proto.View) {
+	if v.Epoch > r.epoch {
+		// First commit of this epoch anywhere: it becomes the harness's
+		// current view and every shard's target.
+		r.epoch = v.Epoch
+		r.view = v.Clone()
+		r.res.Installs++
+		for s := range r.shardTarget {
+			if v.Epoch > r.shardTarget[s] {
+				r.shardTarget[s] = v.Epoch
+			}
+		}
+	}
+	rep, ok := r.c.Replica(id).(*ShardedReplica)
+	if !ok || !r.alive[id] {
+		return
+	}
+	rep.RecordView(proto.MUpdate{Shard: proto.AllShards, View: v})
+	const rolloutStagger = 150 * time.Microsecond
+	for pos, s := range engineLoadOrder(rep) {
+		s := s
+		r.c.eng.After(time.Duration(pos)*rolloutStagger, func() {
+			if !r.alive[id] {
+				return
+			}
+			if cur, ok := r.c.Replica(id).(*ShardedReplica); ok && cur.Engine(s).View().Epoch < v.Epoch {
+				cur.InstallShard(s, v)
+			}
+		})
+	}
+}
+
+// engineLoadOrder sorts a replica's shard indices by ops processed so far,
+// ascending (ties by index): the deterministic sim stand-in for the live
+// controller's read/write load counters.
+func engineLoadOrder(rep *ShardedReplica) []int {
+	load := make([]uint64, rep.Shards())
+	for i := 0; i < rep.Shards(); i++ {
+		m := rep.Engine(i).Metrics()
+		load[i] = m.Reads + m.Writes + m.RMWs
+	}
+	order := make([]int, len(load))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if load[order[a]] != load[order[b]] {
+			return load[order[a]] < load[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
 }
 
 // leaseFlip revokes a serving member's lease for dur — the node rejects
@@ -309,13 +452,16 @@ func (r *chaosRun) leaseFlip(dur time.Duration) {
 // crashCycle is the full §3.4 recovery arc: crash-stop a member while
 // traffic (and possibly a replay) is in flight, reconfigure it out, restart
 // it as a learner (shadow replica, empty store), wait for chunk-transfer
-// catch-up, then promote it back to a serving member.
+// catch-up, then promote it back to a serving member. With RejoinBehind the
+// node additionally misses extra epochs while down and restarts on its
+// stale pre-crash view, so its only way forward is the view-log fetch.
 func (r *chaosRun) crashCycle() {
 	n := r.pickVictim()
 	if n == proto.NilNode {
 		r.scriptOpen--
 		return
 	}
+	stale := r.view.Clone() // what n will remember if it rejoins behind
 	r.c.hosts[n].crashed = true
 	r.alive[n] = false
 	r.res.Crashes++
@@ -323,6 +469,13 @@ func (r *chaosRun) crashCycle() {
 	// Remove it from the membership a detection-delay later (staggered
 	// per-shard installs on the survivors).
 	r.c.eng.After(3*time.Millisecond, func() {
+		if r.cfg.AgentDriven {
+			r.proposeUntil(
+				func() ([]proto.NodeID, []proto.NodeID) { return without(r.view.Members, n), r.view.Learners },
+				func() bool { return !r.view.Contains(n) },
+				func() {})
+			return
+		}
 		r.epoch++
 		v := proto.View{Epoch: r.epoch, Members: without(r.view.Members, n)}
 		v.Learners = append([]proto.NodeID(nil), r.view.Learners...)
@@ -330,27 +483,87 @@ func (r *chaosRun) crashCycle() {
 		r.install(v, -1)
 	})
 
-	// Restart as learner and add it to the view as one.
-	r.c.eng.After(6*time.Millisecond, func() {
-		r.epoch++
-		v := proto.View{
-			Epoch:    r.epoch,
-			Members:  append([]proto.NodeID(nil), r.view.Members...),
-			Learners: append(append([]proto.NodeID(nil), r.view.Learners...), n),
+	// Epochs n sleeps through: membership-unchanged bumps decided while it
+	// is down, which it can later only learn from a peer's view log.
+	restartAfter := 6 * time.Millisecond
+	for i := 0; i < r.cfg.RejoinBehind; i++ {
+		after := 3500*time.Microsecond + time.Duration(i)*600*time.Microsecond
+		if after+600*time.Microsecond > restartAfter {
+			restartAfter = after + 600*time.Microsecond
 		}
-		r.view = v
-		r.alive[n] = true
-		r.leased[n] = true
-		r.learner = n
-		r.res.Restarts++
-		r.c.Restart(n, func(id proto.NodeID, view proto.View, env proto.Env) proto.Replica {
-			return NewShardedReplica(id, view, env, ShardedReplicaConfig{
-				Shards: r.cfg.Shards, MLT: r.cfg.MLT, Learner: true,
+		r.c.eng.After(after, func() {
+			if r.cfg.AgentDriven {
+				r.propose(r.view.Members, r.view.Learners)
+				return
+			}
+			r.epoch++
+			v := r.view.Clone()
+			v.Epoch = r.epoch
+			r.view = v
+			r.install(v, -1)
+		})
+	}
+
+	// Restart as learner and add it to the view as one.
+	r.c.eng.After(restartAfter, func() { r.restartAsLearner(n, stale) })
+}
+
+// restartAsLearner revives n as a shadow replica and reconfigures it into
+// the view as a learner. With RejoinBehind the restarted node seeds from its
+// stale pre-crash view and the harness never re-delivers what it missed —
+// the lag recovery (ensureInstalled's view-log fetch) must carry it.
+func (r *chaosRun) restartAsLearner(n proto.NodeID, stale proto.View) {
+	factory := func(id proto.NodeID, view proto.View, env proto.Env) proto.Replica {
+		return NewShardedReplica(id, view, env, ShardedReplicaConfig{
+			Shards: r.cfg.Shards, MLT: r.cfg.MLT, Learner: true,
+		})
+	}
+	if r.cfg.AgentDriven {
+		// Order matters: the learner-add view must COMMIT before the node
+		// starts its chunk transfer. A learner fetching state while the
+		// members' installed views still exclude it from the write set would
+		// miss the writes racing the transfer — a stale store behind a Valid
+		// state, serving stale reads after promotion.
+		r.proposeUntil(
+			func() ([]proto.NodeID, []proto.NodeID) {
+				return r.view.Members, append(append([]proto.NodeID(nil), r.view.Learners...), n)
+			},
+			func() bool { return r.view.IsLearner(n) },
+			func() {
+				r.alive[n] = true
+				r.leased[n] = true
+				r.learner = n
+				r.res.Restarts++
+				restartView := r.view
+				if r.cfg.RejoinBehind > 0 {
+					restartView = stale
+				}
+				r.c.Restart(n, factory, restartView)
+				r.pollPromotion(n)
 			})
-		}, v)
-		r.install(v, -1)
-		r.pollPromotion(n)
-	})
+		return
+	}
+	r.epoch++
+	v := proto.View{
+		Epoch:    r.epoch,
+		Members:  append([]proto.NodeID(nil), r.view.Members...),
+		Learners: append(append([]proto.NodeID(nil), r.view.Learners...), n),
+	}
+	r.view = v
+	r.alive[n] = true
+	r.leased[n] = true
+	r.learner = n
+	r.res.Restarts++
+	restartView, skip := v, proto.NilNode
+	if r.cfg.RejoinBehind > 0 {
+		// The node comes back on what it remembered; even the learner-add
+		// m-update does not reach it directly (it was decided while the node
+		// was still unreachable). Its shards fast-forward via the log.
+		restartView, skip = stale, n
+	}
+	r.c.Restart(n, factory, restartView)
+	r.installSkip(v, -1, skip)
+	r.pollPromotion(n)
 }
 
 // pollPromotion waits for the learner's every engine to finish state
@@ -358,6 +571,21 @@ func (r *chaosRun) crashCycle() {
 func (r *chaosRun) pollPromotion(n proto.NodeID) {
 	rep, ok := r.c.Replica(n).(*ShardedReplica)
 	if ok && rep.CaughtUp() {
+		if r.cfg.AgentDriven {
+			r.proposeUntil(
+				func() ([]proto.NodeID, []proto.NodeID) {
+					m := append(append([]proto.NodeID(nil), r.view.Members...), n)
+					sort.Slice(m, func(i, j int) bool { return m[i] < m[j] })
+					return m, without(r.view.Learners, n)
+				},
+				func() bool { return r.view.Contains(n) },
+				func() {
+					r.learner = proto.NilNode
+					r.res.Promotions++
+					r.scriptOpen--
+				})
+			return
+		}
 		r.epoch++
 		v := proto.View{
 			Epoch:   r.epoch,
@@ -373,6 +601,25 @@ func (r *chaosRun) pollPromotion(n proto.NodeID) {
 		return
 	}
 	r.c.eng.After(time.Millisecond, func() { r.pollPromotion(n) })
+}
+
+// proposeUntil keeps proposing a view shaped by mk (recomputed from the
+// current committed view on every attempt, so a rival decision folds in)
+// until pred observes the change committed, then runs done. Drives the
+// agent-mode script items through real consensus without wedging on lost
+// proposals or duels.
+func (r *chaosRun) proposeUntil(mk func() ([]proto.NodeID, []proto.NodeID), pred func() bool, done func()) {
+	var step func()
+	step = func() {
+		if pred() {
+			done()
+			return
+		}
+		m, l := mk()
+		r.propose(m, l) // best effort; retried next step if it did not start
+		r.c.eng.After(time.Millisecond, step)
+	}
+	step()
 }
 
 // pickVictim selects a live, leased, non-learner member — never the last one
@@ -403,10 +650,17 @@ func (r *chaosRun) pickVictim() proto.NodeID {
 // shard < 0, to all shards with a per-shard stagger (shards advance epochs
 // independently; nothing requires them to transition together). Each
 // (node, shard) install rides the lossy network as a proto.MUpdate from the
-// current coordinator, with a direct backstop 5 MLTs later standing in for
-// the membership service's commit retry — so a lost m-update delays a shard,
-// never wedges it.
-func (r *chaosRun) install(v proto.View, shard int) {
+// current coordinator. There is no direct backstop anymore: a lost m-update
+// is recovered by the lagging shard itself fetching the coordinator's view
+// log (ensureInstalled) — recovery is protocol traffic on the same lossy
+// wire, exactly what the live runtime ships.
+func (r *chaosRun) install(v proto.View, shard int) { r.installSkip(v, shard, proto.NilNode) }
+
+// installSkip is install with one node excluded from the wire fan-out
+// (modeling a decision made while that node was unreachable); the excluded
+// node still gets a lag check, so its only path to the view is the log
+// fetch.
+func (r *chaosRun) installSkip(v proto.View, shard int, skip proto.NodeID) {
 	r.res.Installs++
 	coord := r.coordinator()
 	lo, hi := shard, shard+1
@@ -415,27 +669,131 @@ func (r *chaosRun) install(v proto.View, shard int) {
 	} else {
 		r.res.ShardInstalls++
 	}
+	// The deciding service durably records its own decision: the coordinator
+	// retains every (shard, view) in its log even if the wire loses the
+	// fan-out, so there is always a node laggards can fetch from.
+	crep, crepOK := r.c.Replica(coord).(*ShardedReplica)
+	for s := lo; s < hi; s++ {
+		if v.Epoch > r.shardTarget[s] {
+			r.shardTarget[s] = v.Epoch
+		}
+		if crepOK && r.alive[coord] {
+			crep.RecordView(proto.MUpdate{Shard: uint16(s), View: v})
+		}
+	}
 	for n := 0; n < r.cfg.Nodes; n++ {
 		node := proto.NodeID(n)
 		for s := lo; s < hi; s++ {
+			s := s
 			mu := proto.MUpdate{Shard: uint16(s), View: v}
 			delay := time.Duration(s)*150*time.Microsecond +
 				time.Duration(r.rng.Intn(200))*time.Microsecond
-			r.c.eng.After(delay, func() {
-				if r.alive[node] {
-					r.c.net.Send(coord, node, mu, r.c.sizeOf(mu))
-				}
-			})
+			if node != skip {
+				r.c.eng.After(delay, func() {
+					if r.alive[node] {
+						r.c.net.Send(coord, node, mu, r.c.sizeOf(mu))
+					}
+				})
+			}
 			r.c.eng.After(delay+5*r.cfg.MLT, func() {
-				if !r.alive[node] {
-					return
-				}
-				if rep, ok := r.c.Replica(node).(*ShardedReplica); ok {
-					rep.InstallShard(int(mu.Shard), v)
-				}
+				r.ensureInstalled(node, s, coord, 0)
 			})
 		}
 	}
+}
+
+// ensureInstalled is the lag detector + recovery path: if the shard is
+// still behind the highest epoch issued for it, the node fetches the gap
+// from a peer's view log (a proto.ViewLogReq riding the lossy network) and
+// keeps retrying with rotating sources until it converges. Stands in for
+// the live runtime's epoch-gossip observer calling
+// RolloutController.FastForward.
+func (r *chaosRun) ensureInstalled(node proto.NodeID, shard int, coord proto.NodeID, attempt int) {
+	if !r.alive[node] {
+		return // a crashed node's rejoin path schedules its own recovery
+	}
+	rep, ok := r.c.Replica(node).(*ShardedReplica)
+	if !ok || rep.Engine(shard).View().Epoch >= r.shardTarget[shard] {
+		return
+	}
+	src := coord
+	if attempt > 0 || !r.alive[src] || src == node {
+		src = r.fetchSource(node, attempt)
+	}
+	if src != proto.NilNode {
+		r.res.FastForwards++
+		req := proto.ViewLogReq{Shard: uint16(shard), Since: rep.Engine(shard).View().Epoch}
+		r.c.net.Send(node, src, req, r.c.sizeOf(req))
+	}
+	r.c.eng.After(5*r.cfg.MLT, func() { r.ensureInstalled(node, shard, coord, attempt+1) })
+}
+
+// fetchSource rotates over live peers so a fetch wedged on one peer's
+// incomplete log eventually reaches a node that applied the epoch (every
+// node records the updates it receives, so any converged peer can serve).
+func (r *chaosRun) fetchSource(node proto.NodeID, attempt int) proto.NodeID {
+	var alive []proto.NodeID
+	for n := 0; n < r.cfg.Nodes; n++ {
+		if id := proto.NodeID(n); id != node && r.alive[id] {
+			alive = append(alive, id)
+		}
+	}
+	if len(alive) == 0 {
+		return proto.NilNode
+	}
+	return alive[attempt%len(alive)]
+}
+
+// awaitConvergence drives the engine until every live shard has reached the
+// highest epoch issued for it. A shard stuck behind means the view-log
+// recovery path failed — that is a finding, reported with the seed.
+func (r *chaosRun) awaitConvergence() error {
+	deadline := r.c.eng.Now() + 400*time.Millisecond
+	for !r.converged() {
+		if r.c.eng.Now() >= deadline {
+			return fmt.Errorf("shard epochs never converged to %v: [%s] (replay with seed %d)",
+				r.shardTarget, r.lagReport(), r.cfg.Seed)
+		}
+		r.c.eng.RunUntil(r.c.eng.Now() + time.Millisecond)
+	}
+	return nil
+}
+
+func (r *chaosRun) converged() bool {
+	for n := 0; n < r.cfg.Nodes; n++ {
+		if !r.alive[n] {
+			continue
+		}
+		rep, ok := r.c.Replica(proto.NodeID(n)).(*ShardedReplica)
+		if !ok {
+			continue
+		}
+		for s := 0; s < r.cfg.Shards; s++ {
+			if rep.Engine(s).View().Epoch < r.shardTarget[s] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (r *chaosRun) lagReport() string {
+	var lags []string
+	for n := 0; n < r.cfg.Nodes; n++ {
+		if !r.alive[n] {
+			continue
+		}
+		rep, ok := r.c.Replica(proto.NodeID(n)).(*ShardedReplica)
+		if !ok {
+			continue
+		}
+		for s := 0; s < r.cfg.Shards; s++ {
+			if e := rep.Engine(s).View().Epoch; e < r.shardTarget[s] {
+				lags = append(lags, fmt.Sprintf("node%d/shard%d@%d<%d", n, s, e, r.shardTarget[s]))
+			}
+		}
+	}
+	return strings.Join(lags, " ")
 }
 
 func (r *chaosRun) coordinator() proto.NodeID {
@@ -624,6 +982,9 @@ func (r *chaosRun) collectMetrics() {
 			r.res.StaleEpochDrops += m.StaleEpochDrops
 			epochs = append(epochs, rep.Engine(i).View().Epoch)
 		}
+		served, applied := rep.FastForwardStats()
+		r.res.FFServed += served
+		r.res.FFApplied += applied
 		r.res.FinalEpochs = append(r.res.FinalEpochs, epochs)
 	}
 }

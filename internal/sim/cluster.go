@@ -53,6 +53,11 @@ type Config struct {
 	TickEvery time.Duration // protocol timer granularity (default 100µs)
 	Seed      int64
 	RM        *RMParams
+	// OnView, when set, intercepts the membership agents' decided views
+	// instead of the default direct rep.OnViewChange fan-out: the hook owns
+	// how (and whether) the view reaches the replica — e.g. the chaos
+	// harness's staggered per-shard rollout. Only meaningful with RM set.
+	OnView func(id proto.NodeID, v proto.View)
 	// SizeOf estimates a message's wire payload size for PerByte costs and
 	// bandwidth accounting; nil uses a flat 64 B.
 	SizeOf func(msg any) int
@@ -222,21 +227,7 @@ func New(cfg Config) *Cluster {
 		env := hostEnv{h: h}
 		h.rep = cfg.Factory(id, c.view, env)
 		if cfg.RM != nil {
-			h.agent = membership.New(membership.Config{
-				ID: id, All: members, Initial: c.view, Env: env,
-				HeartbeatEvery: cfg.RM.HeartbeatEvery,
-				SuspectAfter:   cfg.RM.SuspectAfter,
-				LeaseDur:       cfg.RM.LeaseDur,
-				OnView: func(v proto.View) {
-					c.ViewChanges++
-					h.rep.OnViewChange(v)
-				},
-				OnLease: func(ok bool) {
-					if la, is := h.rep.(interface{ SetOperational(bool) }); is {
-						la.SetOperational(ok)
-					}
-				},
-			})
+			h.agent = c.newAgent(h, id, c.view)
 		}
 		c.hosts = append(c.hosts, h)
 		c.sessions[id] = make(map[uint64]func(proto.Completion))
@@ -258,6 +249,44 @@ func New(cfg Config) *Cluster {
 	}
 	return c
 }
+
+// newAgent builds host h's reliable-membership agent, wired to the
+// cluster's view/lease plumbing. The acceptor group is always the full
+// configured node set; initial seeds the agent's committed view (a restarted
+// node passes the possibly stale view it remembered).
+func (c *Cluster) newAgent(h *host, id proto.NodeID, initial proto.View) *membership.Agent {
+	return membership.New(membership.Config{
+		ID: id, All: c.viewMembersAll(), Initial: initial, Env: hostEnv{h: h},
+		HeartbeatEvery: c.cfg.RM.HeartbeatEvery,
+		SuspectAfter:   c.cfg.RM.SuspectAfter,
+		LeaseDur:       c.cfg.RM.LeaseDur,
+		OnView: func(v proto.View) {
+			c.ViewChanges++
+			if c.cfg.OnView != nil {
+				c.cfg.OnView(id, v)
+				return
+			}
+			h.rep.OnViewChange(v)
+		},
+		OnLease: func(ok bool) {
+			if la, is := h.rep.(interface{ SetOperational(bool) }); is {
+				la.SetOperational(ok)
+			}
+		},
+	})
+}
+
+// viewMembersAll returns the full configured node set 0..Nodes-1.
+func (c *Cluster) viewMembersAll() []proto.NodeID {
+	all := make([]proto.NodeID, c.cfg.Nodes)
+	for i := range all {
+		all[i] = proto.NodeID(i)
+	}
+	return all
+}
+
+// Agent returns node id's membership agent (nil when RM is disabled).
+func (c *Cluster) Agent(id proto.NodeID) *membership.Agent { return c.hosts[id].agent }
 
 // Engine exposes the virtual clock (tests and the bench harness use it).
 func (c *Cluster) Engine() *Engine { return c.eng }
@@ -387,6 +416,12 @@ func (c *Cluster) Restart(id proto.NodeID, f Factory, view proto.View) {
 	}
 	h.egress = make(map[proto.NodeID]*egressQueue) // buffered egress died with the process
 	h.rep = f(id, view, hostEnv{h: h})
+	if c.cfg.RM != nil {
+		// The agent's volatile state died with the process too; the rebuilt
+		// one seeds from whatever view the restarting node remembered (view
+		// may be stale — heartbeat epochs catch it up).
+		h.agent = c.newAgent(h, id, view)
+	}
 }
 
 // InstallView force-installs a view at every live host (used when RM is

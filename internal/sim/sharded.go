@@ -24,8 +24,25 @@ import (
 type ShardedReplica struct {
 	id      proto.NodeID
 	w       int
+	env     proto.Env
 	engines []*core.Hermes
+
+	// vlog is the bounded view log: every membership update this node has
+	// seen (wire MUpdates, direct installs, node-wide views), in arrival
+	// order with exact duplicates elided. A rejoining or lagging peer
+	// replays its gap from here via proto.ViewLogReq — the fast-forward
+	// path that replaced the chaos harness's out-of-band install backstop.
+	vlog []proto.MUpdate
+
+	// ffServed counts view-log entries served to peers; ffApplied counts
+	// fetched entries whose replay actually advanced a local shard's epoch.
+	ffServed, ffApplied uint64
 }
+
+// replicaViewLogCap bounds the retained log, mirroring membership.Agent's
+// ring: reconfiguration is control-plane rare and a laggard further behind
+// rejoins through the learner arc.
+const replicaViewLogCap = 64
 
 // ShardedReplicaConfig parameterizes NewShardedReplica. The embedded toggles
 // mean what they do on core.Config.
@@ -63,7 +80,7 @@ func NewShardedReplica(id proto.NodeID, view proto.View, env proto.Env, cfg Shar
 	if w < 1 {
 		w = 1
 	}
-	r := &ShardedReplica{id: id, w: w}
+	r := &ShardedReplica{id: id, w: w, env: env}
 	for i := 0; i < w; i++ {
 		r.engines = append(r.engines, core.New(core.Config{
 			ID: id, View: view.Clone(),
@@ -101,17 +118,85 @@ func (r *ShardedReplica) Deliver(from proto.NodeID, msg any) {
 	case proto.ShardMsg:
 		r.deliverTagged(from, m)
 	case proto.MUpdate:
-		switch {
-		case m.Shard == proto.AllShards:
-			for _, e := range r.engines {
-				e.OnViewChange(m.View)
+		r.RecordView(m)
+		r.applyMUpdate(m)
+	case proto.ViewLogReq:
+		// A lagging peer's fast-forward fetch: answer with the retained
+		// updates above its epoch that concern the shard it asks about.
+		var ups []proto.MUpdate
+		for _, mu := range r.vlog {
+			if mu.View.Epoch > m.Since &&
+				(m.Shard == proto.AllShards || mu.Shard == proto.AllShards || mu.Shard == m.Shard) {
+				ups = append(ups, mu)
 			}
-		case int(m.Shard) < r.w:
-			r.engines[m.Shard].OnViewChange(m.View)
+		}
+		r.ffServed += uint64(len(ups))
+		r.env.Send(from, proto.ViewLogResp{Updates: ups})
+	case proto.ViewLogResp:
+		// Replay the fetched gap through the normal install path, counting
+		// only entries that advance an epoch (redeliveries are idempotent).
+		for _, mu := range m.Updates {
+			if r.advances(mu) {
+				r.ffApplied++
+			}
+			r.RecordView(mu)
+			r.applyMUpdate(mu)
 		}
 	default:
 		r.engines[r.ownerOf(msg, 0)].Deliver(from, msg)
 	}
+}
+
+// applyMUpdate installs a membership update on the shards it addresses.
+func (r *ShardedReplica) applyMUpdate(m proto.MUpdate) {
+	switch {
+	case m.Shard == proto.AllShards:
+		for _, e := range r.engines {
+			e.OnViewChange(m.View)
+		}
+	case int(m.Shard) < r.w:
+		r.engines[m.Shard].OnViewChange(m.View)
+	}
+}
+
+// advances reports whether installing m would move some addressed shard's
+// epoch forward.
+func (r *ShardedReplica) advances(m proto.MUpdate) bool {
+	switch {
+	case m.Shard == proto.AllShards:
+		for _, e := range r.engines {
+			if e.View().Epoch < m.View.Epoch {
+				return true
+			}
+		}
+	case int(m.Shard) < r.w:
+		return r.engines[m.Shard].View().Epoch < m.View.Epoch
+	}
+	return false
+}
+
+// RecordView retains a membership update in the replica's bounded view log
+// (exact duplicates elided) without installing it. The chaos harness calls
+// it on the deciding coordinator — the membership service durably knows its
+// own decisions even when the wire loses the fan-out — and Deliver records
+// every update that arrives, so any node that applied an epoch can serve it
+// to a laggard.
+func (r *ShardedReplica) RecordView(m proto.MUpdate) {
+	for _, have := range r.vlog {
+		if have.Shard == m.Shard && have.View.Epoch == m.View.Epoch {
+			return
+		}
+	}
+	r.vlog = append(r.vlog, proto.MUpdate{Shard: m.Shard, View: m.View.Clone()})
+	if len(r.vlog) > replicaViewLogCap {
+		r.vlog = append(r.vlog[:0:0], r.vlog[len(r.vlog)-replicaViewLogCap:]...)
+	}
+}
+
+// FastForwardStats reports the view-log counters: entries served to peers
+// and fetched entries that advanced a local epoch.
+func (r *ShardedReplica) FastForwardStats() (served, applied uint64) {
+	return r.ffServed, r.ffApplied
 }
 
 func (r *ShardedReplica) deliverTagged(from proto.NodeID, sm proto.ShardMsg) {
@@ -145,8 +230,10 @@ func (r *ShardedReplica) Tick() {
 }
 
 // OnViewChange implements proto.Replica: the node-wide m-update fans out to
-// every shard (what a membership agent's decision does).
+// every shard (what a membership agent's decision does). The view is also
+// retained in the log so this node can serve laggards.
 func (r *ShardedReplica) OnViewChange(v proto.View) {
+	r.RecordView(proto.MUpdate{Shard: proto.AllShards, View: v})
 	for _, e := range r.engines {
 		e.OnViewChange(v)
 	}
@@ -155,6 +242,7 @@ func (r *ShardedReplica) OnViewChange(v proto.View) {
 // InstallShard advances a single shard's membership epoch, leaving the other
 // shards untouched — the localized reconfiguration the chaos harness storms.
 func (r *ShardedReplica) InstallShard(shard int, v proto.View) {
+	r.RecordView(proto.MUpdate{Shard: uint16(shard), View: v})
 	r.engines[shard].OnViewChange(v)
 }
 

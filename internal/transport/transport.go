@@ -87,6 +87,12 @@ func isResponse(m any) bool {
 	if sm, ok := m.(proto.ShardMsg); ok {
 		m = sm.Msg
 	}
+	if _, ok := m.(proto.ViewLogResp); ok {
+		// A view-log answer repays the ViewLogReq's credit, like any other
+		// response; the requester reserved the buffer slot when it spent a
+		// credit on the fetch.
+		return true
+	}
 	return core.IsResponseMsg(m)
 }
 

@@ -1,0 +1,193 @@
+package wings
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// The view-log fetch pair crosses the wire between nodes that disagree
+// about epochs by construction — that is the whole point of the fetch — so
+// its codec gets the same hostile-input treatment as tMUpdate: round trips,
+// lying counts, truncations, nesting rejection, bit flips.
+
+func TestViewLogReqRoundTrips(t *testing.T) {
+	msgs := []proto.ViewLogReq{
+		{Shard: 0, Since: 0},
+		{Shard: 3, Since: 42},
+		{Shard: proto.AllShards, Since: ^uint32(0)},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, m)
+		}
+	}
+}
+
+func TestViewLogRespRoundTrips(t *testing.T) {
+	msgs := []proto.ViewLogResp{
+		// An empty log is a legal answer ("nothing newer than Since").
+		{},
+		{Updates: []proto.MUpdate{
+			{Shard: 0, View: proto.View{Epoch: 2, Members: []proto.NodeID{0, 1, 2}}},
+		}},
+		// A realistic fast-forward gap: consecutive epochs, mixed scoping,
+		// learners, extremes.
+		{Updates: []proto.MUpdate{
+			{Shard: 1, View: proto.View{Epoch: 3, Members: []proto.NodeID{0, 1}}},
+			{Shard: proto.AllShards, View: proto.View{Epoch: 4,
+				Members: []proto.NodeID{0, 1}, Learners: []proto.NodeID{2}}},
+			{Shard: 0xFFFE, View: proto.View{Epoch: ^uint32(0),
+				Members: []proto.NodeID{proto.NilNode}}},
+		}},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, m)
+		}
+	}
+}
+
+// viewlogRespBody hand-builds a tViewLogResp payload with an arbitrary
+// (possibly lying) update count over the given entry bytes.
+func viewlogRespBody(count uint16, entries ...[]byte) []byte {
+	b := binary.LittleEndian.AppendUint16(nil, count)
+	for _, e := range entries {
+		b = append(b, e...)
+	}
+	return b
+}
+
+// A hostile update count larger than the bytes present must fail without
+// driving the preallocation; truncated entries surface as EOF.
+func TestViewLogRespHostileCounts(t *testing.T) {
+	entry := mupdateBody(5, 1, 1, []byte{0}, 0, nil)
+	for _, tc := range []struct {
+		name string
+		body []byte
+	}{
+		{"count with no entries", viewlogRespBody(0xFFFF)},
+		{"count beyond body", viewlogRespBody(8, entry)},
+		{"truncated entry", viewlogRespBody(1, entry[:len(entry)-1])},
+		{"truncated second entry", viewlogRespBody(2, entry, entry[:4])},
+		{"empty body", nil},
+		{"count only, one short", []byte{1}},
+	} {
+		if _, err := decodeMsg(tViewLogResp, tc.body); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("%s: err=%v, want unexpected EOF", tc.name, err)
+		}
+	}
+	// A lying member count inside an otherwise well-framed entry.
+	bad := viewlogRespBody(1, mupdateBody(5, 1, 0x7FFF, []byte{0}, 0, nil))
+	if _, err := decodeMsg(tViewLogResp, bad); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("lying inner member count: err=%v, want unexpected EOF", err)
+	}
+}
+
+func TestViewLogReqTruncations(t *testing.T) {
+	full := binary.LittleEndian.AppendUint16(nil, 2)
+	full = binary.LittleEndian.AppendUint32(full, 7)
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := decodeMsg(tViewLogReq, full[:cut]); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncated at %d: err=%v, want unexpected EOF", cut, err)
+		}
+	}
+	if _, err := decodeMsg(tViewLogReq, full); err != nil {
+		t.Fatalf("full body: %v", err)
+	}
+}
+
+// View-log traffic is node-level routing, like MUpdate: a shard envelope
+// around either direction is always a corrupt or hostile stream.
+func TestViewLogNeverNestsInShardEnvelopes(t *testing.T) {
+	req := proto.ViewLogReq{Shard: 1, Since: 3}
+	resp := proto.ViewLogResp{Updates: []proto.MUpdate{
+		{Shard: 1, View: proto.View{Epoch: 4, Members: []proto.NodeID{0}}}}}
+	for _, inner := range []any{req, resp} {
+		if _, err := Encode(proto.ShardMsg{Shard: 1, Msg: inner}); err == nil {
+			t.Fatalf("encoder accepted %T inside ShardMsg", inner)
+		}
+		if _, err := Encode(proto.ShardBatch{Msgs: []proto.ShardMsg{{Shard: 1, Msg: inner}}}); err == nil {
+			t.Fatalf("encoder accepted %T inside ShardBatch", inner)
+		}
+		// Craft the bytes a conforming encoder refuses to produce.
+		body, err := appendMsg(nil, inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tagged := binary.LittleEndian.AppendUint16(nil, 1)
+		tagged = append(tagged, body...)
+		if _, err := decodeMsg(tShard, tagged); !errors.Is(err, ErrUnknownType) {
+			t.Fatalf("decoder on shard-tagged %T: err=%v, want ErrUnknownType", inner, err)
+		}
+	}
+}
+
+// Random bytes and bit-flipped valid frames must never panic, and a decoded
+// result must never have been allocated from a hostile count.
+func TestViewLogDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, rng.Intn(96))
+		rng.Read(buf)
+		_, _ = decodeMsg(tViewLogReq, buf)
+		_, _ = decodeMsg(tViewLogResp, buf)
+	}
+	valid, err := Encode(proto.ViewLogResp{Updates: []proto.MUpdate{
+		{Shard: 0, View: proto.View{Epoch: 7, Members: []proto.NodeID{0, 1, 2}}},
+		{Shard: 2, View: proto.View{Epoch: 8, Members: []proto.NodeID{0, 1, 2},
+			Learners: []proto.NodeID{3}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		f := append([]byte(nil), valid...)
+		f[rng.Intn(len(f))] ^= 1 << uint(rng.Intn(8))
+		_, _ = DecodeOne(f)
+	}
+}
+
+// The fetch round trip must survive the full framed link path among other
+// traffic — the route a live fast-forward actually takes.
+func TestViewLogOverLink(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	sender := NewLink(a, LinkConfig{})
+	recv := NewLink(b, LinkConfig{})
+	got := make(chan any, 2)
+	go recv.Serve(b, func(m any) { got <- m })
+
+	req := proto.ViewLogReq{Shard: proto.AllShards, Since: 3}
+	resp := proto.ViewLogResp{Updates: []proto.MUpdate{
+		{Shard: proto.AllShards, View: proto.View{Epoch: 4, Members: []proto.NodeID{0, 1}}},
+		{Shard: proto.AllShards, View: proto.View{Epoch: 5, Members: []proto.NodeID{0, 1},
+			Learners: []proto.NodeID{2}}},
+	}}
+	if err := sender.Send(req); err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.Send(resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []any{req, resp} {
+		select {
+		case m := <-got:
+			if !reflect.DeepEqual(m, want) {
+				t.Fatalf("received %+v, want %+v", m, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("view-log message never arrived over the link")
+		}
+	}
+}

@@ -57,6 +57,16 @@ const (
 	// [2B learner count][learners, 1B each]. Node-level routing — it never
 	// nests inside a shard envelope (the shard field IS the routing tag).
 	tMUpdate
+	// tViewLogReq asks a peer for its retained membership updates — the
+	// fast-forward fetch of a rejoining or lagging shard (proto.ViewLogReq):
+	// [2B shard][4B since]. Node-level routing like tMUpdate.
+	tViewLogReq
+	// tViewLogResp carries the retained updates (proto.ViewLogResp):
+	// [2B count] then per entry the tMUpdate body
+	// ([4B epoch][2B shard][2B n][members][2B n][learners]). The count is
+	// validated against the bytes present before any allocation, the
+	// tShardBatch discipline. Never nests inside a shard envelope.
+	tViewLogResp
 )
 
 // maxFrame bounds a frame's size (defense against corrupt streams).
@@ -140,18 +150,27 @@ func appendMsg(buf []byte, msg any) ([]byte, error) {
 		}
 	case proto.MUpdate:
 		t = tMUpdate
-		if len(m.View.Members) > 0xFFFF || len(m.View.Learners) > 0xFFFF {
-			return nil, fmt.Errorf("wings: oversized view in MUpdate")
+		var err error
+		buf, err = appendMUpdateBody(buf, m)
+		if err != nil {
+			return nil, err
 		}
-		buf = binary.LittleEndian.AppendUint32(buf, m.View.Epoch)
+	case proto.ViewLogReq:
+		t = tViewLogReq
 		buf = binary.LittleEndian.AppendUint16(buf, m.Shard)
-		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.View.Members)))
-		for _, n := range m.View.Members {
-			buf = append(buf, byte(n))
+		buf = binary.LittleEndian.AppendUint32(buf, m.Since)
+	case proto.ViewLogResp:
+		t = tViewLogResp
+		if len(m.Updates) > 0xFFFF {
+			return nil, fmt.Errorf("wings: ViewLogResp of %d updates", len(m.Updates))
 		}
-		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.View.Learners)))
-		for _, n := range m.View.Learners {
-			buf = append(buf, byte(n))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Updates)))
+		for _, up := range m.Updates {
+			var err error
+			buf, err = appendMUpdateBody(buf, up)
+			if err != nil {
+				return nil, err
+			}
 		}
 	default:
 		return nil, fmt.Errorf("wings: cannot encode %T", msg)
@@ -162,14 +181,46 @@ func appendMsg(buf []byte, msg any) ([]byte, error) {
 }
 
 // nestedEnvelope reports whether msg must not nest inside a shard envelope:
-// the envelopes themselves (the encoders wrap exactly one level) and
-// MUpdate, which carries its own shard routing and is node-level traffic.
+// the envelopes themselves (the encoders wrap exactly one level) and the
+// node-level membership traffic — MUpdate (its shard field IS the routing
+// tag) and the view-log pair (host-level fast-forward, never shard-engine
+// traffic).
 func nestedEnvelope(msg any) bool {
 	switch msg.(type) {
-	case proto.ShardMsg, proto.ShardBatch, proto.MUpdate:
+	case proto.ShardMsg, proto.ShardBatch, proto.MUpdate, proto.ViewLogReq, proto.ViewLogResp:
 		return true
 	}
 	return false
+}
+
+// appendMUpdateBody encodes an MUpdate's payload: [4B epoch][2B shard]
+// [2B n][members][2B n][learners]. Shared by tMUpdate and the entries of a
+// tViewLogResp so the two framings cannot drift.
+func appendMUpdateBody(buf []byte, m proto.MUpdate) ([]byte, error) {
+	if len(m.View.Members) > 0xFFFF || len(m.View.Learners) > 0xFFFF {
+		return nil, fmt.Errorf("wings: oversized view in MUpdate")
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, m.View.Epoch)
+	buf = binary.LittleEndian.AppendUint16(buf, m.Shard)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.View.Members)))
+	for _, n := range m.View.Members {
+		buf = append(buf, byte(n))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.View.Learners)))
+	for _, n := range m.View.Learners {
+		buf = append(buf, byte(n))
+	}
+	return buf, nil
+}
+
+// readMUpdateBody decodes one MUpdate payload; errors surface via r.err.
+func readMUpdateBody(r *reader) proto.MUpdate {
+	m := proto.MUpdate{}
+	m.View.Epoch = r.u32()
+	m.Shard = r.u16()
+	m.View.Members = r.nodeIDs()
+	m.View.Learners = r.nodeIDs()
+	return m
 }
 
 func appendEpochKeyTS(buf []byte, epoch uint32, key proto.Key, ts proto.TS) []byte {
@@ -312,11 +363,27 @@ func decodeMsg(t uint8, body []byte) (any, error) {
 		}
 		msg = m
 	case tMUpdate:
-		m := proto.MUpdate{}
-		m.View.Epoch = r.u32()
-		m.Shard = r.u16()
-		m.View.Members = r.nodeIDs()
-		m.View.Learners = r.nodeIDs()
+		msg = readMUpdateBody(r)
+	case tViewLogReq:
+		msg = proto.ViewLogReq{Shard: r.u16(), Since: r.u32()}
+	case tViewLogResp:
+		count := int(r.u16())
+		if r.err != nil {
+			return nil, r.err
+		}
+		// Every entry takes at least 10 bytes (epoch + shard + two counts); a
+		// hostile count larger than the body can hold must not drive the
+		// preallocation. An empty log is a legal answer ("nothing newer").
+		if count > (len(r.b)-r.off)/10 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		m := proto.ViewLogResp{}
+		if count > 0 {
+			m.Updates = make([]proto.MUpdate, 0, count)
+		}
+		for i := 0; i < count && r.err == nil; i++ {
+			m.Updates = append(m.Updates, readMUpdateBody(r))
+		}
 		msg = m
 	case tShard:
 		sm, err := decodeTagged(r)
@@ -369,9 +436,10 @@ func decodeTagged(r *reader) (proto.ShardMsg, error) {
 	it := r.b[r.off]
 	// The encoders wrap exactly one level; a nested envelope only occurs in
 	// a corrupt or hostile stream, and recursing on it unboundedly would let
-	// a 16 MB frame blow the stack. MUpdate is node-level routing: a
-	// shard-tagged one is equally hostile.
-	if it == tShard || it == tShardBatch || it == tCredit || it == tMUpdate {
+	// a 16 MB frame blow the stack. MUpdate and the view-log pair are
+	// node-level routing: shard-tagged ones are equally hostile.
+	if it == tShard || it == tShardBatch || it == tCredit || it == tMUpdate ||
+		it == tViewLogReq || it == tViewLogResp {
 		return proto.ShardMsg{}, ErrUnknownType
 	}
 	n := int(binary.LittleEndian.Uint32(r.b[r.off+1:]))
