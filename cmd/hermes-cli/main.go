@@ -1,44 +1,123 @@
-// Command hermes-cli sends one command to a hermes-node client port and
-// prints the reply.
+// Command hermes-cli sends one command to a hermes-node -listen port over
+// the wire protocol (internal/client) and prints the reply.
 //
 //	hermes-cli -addr 127.0.0.1:8100 SET user:1 alice
 //	hermes-cli -addr 127.0.0.1:8101 GET user:1
+//	hermes-cli -addr 127.0.0.1:8100 CAS user:1 alice bob   -> OK | FAIL <observed>
+//	hermes-cli -addr 127.0.0.1:8100 FAA counter 5          -> OK <prior> | ABORTED
+//
+// String keys are hashed to the 8-byte key space with FNV-1a (the paper's
+// KVS uses 8-byte keys, §5.2); decimal keys map to themselves.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
-	"net"
 	"os"
+	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/client"
+	"repro/internal/proto"
 )
 
+func hashKey(s string) proto.Key {
+	if n, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return proto.Key(n)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return proto.Key(h.Sum64())
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8100", "hermes-node client address")
+	addr := flag.String("addr", "127.0.0.1:8100", "hermes-node -listen address")
 	timeout := flag.Duration("timeout", 10*time.Second, "request timeout")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: hermes-cli [-addr host:port] GET|SET|CAS|FAA args...")
 		os.Exit(2)
 	}
-	conn, err := net.DialTimeout("tcp", *addr, *timeout)
+
+	c, err := client.Dial(*addr, client.Config{DialTimeout: *timeout})
 	if err != nil {
 		log.Fatalf("dial: %v", err)
 	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(*timeout))
-	if _, err := fmt.Fprintln(conn, strings.Join(flag.Args(), " ")); err != nil {
-		log.Fatalf("send: %v", err)
-	}
-	line, err := bufio.NewReader(conn).ReadString('\n')
-	if err != nil {
-		log.Fatalf("recv: %v", err)
-	}
-	fmt.Print(line)
-	if strings.HasPrefix(line, "ERR") {
+	defer c.Close()
+
+	// The server has no per-op timeout (a read of a never-written key stalls
+	// by design until the key validates), so the deadline lives here: closing
+	// the client fails the in-flight op with ErrClosed.
+	timer := time.AfterFunc(*timeout, func() {
+		fmt.Fprintln(os.Stderr, "ERR timeout")
 		os.Exit(1)
+	})
+	defer timer.Stop()
+
+	out, err := run(c, flag.Args())
+	if err != nil {
+		log.Fatalf("ERR %v", err)
+	}
+	fmt.Println(out)
+}
+
+// run executes one parsed command against the session and renders the reply
+// in the traditional cli vocabulary (OK / FAIL <observed> / ABORTED).
+func run(c *client.Client, args []string) (string, error) {
+	cmd := strings.ToUpper(args[0])
+	switch cmd {
+	case "GET":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: GET <key>")
+		}
+		v, err := c.Read(hashKey(args[1]))
+		if err != nil {
+			return "", err
+		}
+		return "OK " + string(v), nil
+	case "SET":
+		if len(args) < 3 {
+			return "", fmt.Errorf("usage: SET <key> <value>")
+		}
+		val := strings.Join(args[2:], " ")
+		if err := c.Write(hashKey(args[1]), proto.Value(val)); err != nil {
+			return "", err
+		}
+		return "OK", nil
+	case "CAS":
+		if len(args) != 4 {
+			return "", fmt.Errorf("usage: CAS <key> <expected> <new>")
+		}
+		ok, observed, err := c.CAS(hashKey(args[1]), proto.Value(args[2]), proto.Value(args[3]))
+		switch {
+		case err != nil:
+			return "", err
+		case ok:
+			return "OK", nil
+		default:
+			return "FAIL " + string(observed), nil
+		}
+	case "FAA":
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: FAA <key> <delta>")
+		}
+		d, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("bad delta: %v", err)
+		}
+		prior, err := c.FAA(hashKey(args[1]), d)
+		switch err {
+		case nil:
+			return fmt.Sprintf("OK %d", prior), nil
+		case client.ErrAborted:
+			return "ABORTED", nil
+		default:
+			return "", err
+		}
+	default:
+		return "", fmt.Errorf("unknown command %q", args[0])
 	}
 }

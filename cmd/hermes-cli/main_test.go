@@ -1,0 +1,72 @@
+package main
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/proto"
+	"repro/internal/server"
+)
+
+func TestHashKeyNumericPassthrough(t *testing.T) {
+	if hashKey("42") != 42 {
+		t.Fatal("numeric keys must map to themselves")
+	}
+	if hashKey("18446744073709551615") != proto.Key(^uint64(0)) {
+		t.Fatal("max uint64 key")
+	}
+}
+
+func TestHashKeyStringsStableAndSpread(t *testing.T) {
+	a, b := hashKey("user:1"), hashKey("user:2")
+	if a == b {
+		t.Fatal("distinct strings collided (astronomically unlikely)")
+	}
+	if a != hashKey("user:1") {
+		t.Fatal("hash not stable")
+	}
+}
+
+// The cli command vocabulary against a real served group.
+func TestRunCommands(t *testing.T) {
+	l := cluster.NewShardedLocal(cluster.LocalConfig{N: 3}, 2)
+	defer l.Close()
+	srv := server.New(server.Config{Backend: l.Nodes[0]})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	c, err := client.Dial(ln.Addr().String(), client.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	check := func(args []string, want string) {
+		t.Helper()
+		got, err := run(c, args)
+		if err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if got != want {
+			t.Fatalf("%v: got %q, want %q", args, got, want)
+		}
+	}
+	check([]string{"SET", "greeting", "hello", "world"}, "OK")
+	check([]string{"GET", "greeting"}, "OK hello world")
+	check([]string{"CAS", "greeting", "wrong", "new"}, "FAIL hello world")
+	check([]string{"CAS", "greeting", "hello world", "new"}, "OK")
+	check([]string{"SET", "counter", string(proto.EncodeInt64(5))}, "OK")
+	check([]string{"FAA", "counter", "2"}, "OK 5")
+	check([]string{"FAA", "counter", "-3"}, "OK 7")
+
+	for _, bad := range [][]string{{"GET"}, {"SET", "k"}, {"CAS", "k", "a"}, {"FAA", "k", "x"}, {"BOGUS"}} {
+		if _, err := run(c, bad); err == nil {
+			t.Fatalf("accepted %v", bad)
+		}
+	}
+}

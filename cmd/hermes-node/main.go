@@ -1,30 +1,21 @@
 // Command hermes-node runs one live Hermes replica over TCP (the Wings RPC
-// mesh, internal/transport) and serves clients a line-based text protocol:
-//
-//	GET <key>
-//	SET <key> <value>
-//	CAS <key> <expected> <new>     -> OK | FAIL <observed>
-//	FAA <key> <delta>              -> OK <prior> | ABORTED
-//	QUIT
-//
-// String keys are hashed to the 8-byte key space with FNV-1a (the paper's
-// KVS uses 8-byte keys, §5.2).
+// mesh, internal/transport) and serves clients the pipelined wire protocol of
+// internal/server on -listen: framed ClientReq/ClientResp messages, many in
+// flight per connection, reads served lock-free on the session goroutine.
+// Use hermes-cli (or internal/client) to talk to it.
 //
 // Example 3-replica deployment on one machine:
 //
-//	hermes-node -id 0 -peers 0=127.0.0.1:7100,1=127.0.0.1:7101,2=127.0.0.1:7102 -client :8100 &
-//	hermes-node -id 1 -peers 0=127.0.0.1:7100,1=127.0.0.1:7101,2=127.0.0.1:7102 -client :8101 &
-//	hermes-node -id 2 -peers 0=127.0.0.1:7100,1=127.0.0.1:7101,2=127.0.0.1:7102 -client :8102 &
+//	hermes-node -id 0 -peers 0=127.0.0.1:7100,1=127.0.0.1:7101,2=127.0.0.1:7102 -listen :8100 &
+//	hermes-node -id 1 -peers 0=127.0.0.1:7100,1=127.0.0.1:7101,2=127.0.0.1:7102 -listen :8101 &
+//	hermes-node -id 2 -peers 0=127.0.0.1:7100,1=127.0.0.1:7101,2=127.0.0.1:7102 -listen :8102 &
 //	hermes-cli -addr 127.0.0.1:8100 SET greeting hello
 //	hermes-cli -addr 127.0.0.1:8102 GET greeting
 package main
 
 import (
-	"bufio"
-	"context"
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"log"
 	"net"
 	"sort"
@@ -34,17 +25,9 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/proto"
+	"repro/internal/server"
 	"repro/internal/transport"
 )
-
-func hashKey(s string) proto.Key {
-	if n, err := strconv.ParseUint(s, 10, 64); err == nil {
-		return proto.Key(n)
-	}
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return proto.Key(h.Sum64())
-}
 
 func parsePeers(s string) (map[proto.NodeID]string, []proto.NodeID, error) {
 	addrs := make(map[proto.NodeID]string)
@@ -68,9 +51,11 @@ func parsePeers(s string) (map[proto.NodeID]string, []proto.NodeID, error) {
 func main() {
 	id := flag.Uint("id", 0, "this node's ID (must appear in -peers)")
 	peers := flag.String("peers", "0=127.0.0.1:7100", "comma-separated id=host:port replica addresses")
-	clientAddr := flag.String("client", ":8100", "client-facing listen address")
+	listen := flag.String("listen", ":8100", "client-facing listen address (wire protocol)")
 	mlt := flag.Duration("mlt", 50*time.Millisecond, "message-loss timeout")
 	shards := flag.Int("shards", 0, "protocol engine shards per node; every node must use the same value — set explicitly on heterogeneous machines (0 = one per CPU, capped)")
+	window := flag.Int("window", server.DefaultWindow, "pipelining window granted to each client session")
+	maxInflight := flag.Int("max-inflight", server.DefaultMaxInflight, "outstanding-request bound that kills a session exceeding it")
 	flag.Parse()
 
 	addrs, ids, err := parsePeers(*peers)
@@ -100,105 +85,17 @@ func main() {
 	}, mesh)
 	defer node.Close()
 
-	ln, err := net.Listen("tcp", *clientAddr)
+	srv := server.New(server.Config{
+		Backend: node, Window: *window, MaxInflight: *maxInflight,
+	})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("client listener: %v", err)
 	}
-	log.Printf("hermes-node %d: replicas=%v clients=%s shards=%d", self, addrs, ln.Addr(), w)
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		go serveClient(conn, node)
-	}
-}
-
-// kvNode is the client-facing surface both engine flavours provide
-// (*cluster.Node and *cluster.ShardedNode).
-type kvNode interface {
-	Read(ctx context.Context, key proto.Key) (proto.Value, error)
-	Write(ctx context.Context, key proto.Key, val proto.Value) error
-	CAS(ctx context.Context, key proto.Key, expect, val proto.Value) (bool, proto.Value, error)
-	FAA(ctx context.Context, key proto.Key, delta int64) (int64, error)
-}
-
-func serveClient(conn net.Conn, node kvNode) {
-	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	out := bufio.NewWriter(conn)
-	reply := func(format string, args ...any) {
-		fmt.Fprintf(out, format+"\n", args...)
-		out.Flush()
-	}
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 0 {
-			continue
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		switch strings.ToUpper(fields[0]) {
-		case "GET":
-			if len(fields) != 2 {
-				reply("ERR usage: GET <key>")
-				break
-			}
-			v, err := node.Read(ctx, hashKey(fields[1]))
-			if err != nil {
-				reply("ERR %v", err)
-				break
-			}
-			reply("OK %s", string(v))
-		case "SET":
-			if len(fields) < 3 {
-				reply("ERR usage: SET <key> <value>")
-				break
-			}
-			val := strings.Join(fields[2:], " ")
-			if err := node.Write(ctx, hashKey(fields[1]), proto.Value(val)); err != nil {
-				reply("ERR %v", err)
-				break
-			}
-			reply("OK")
-		case "CAS":
-			if len(fields) != 4 {
-				reply("ERR usage: CAS <key> <expected> <new>")
-				break
-			}
-			ok, observed, err := node.CAS(ctx, hashKey(fields[1]), proto.Value(fields[2]), proto.Value(fields[3]))
-			switch {
-			case err != nil:
-				reply("ERR %v", err)
-			case ok:
-				reply("OK")
-			default:
-				reply("FAIL %s", string(observed))
-			}
-		case "FAA":
-			if len(fields) != 3 {
-				reply("ERR usage: FAA <key> <delta>")
-				break
-			}
-			d, err := strconv.ParseInt(fields[2], 10, 64)
-			if err != nil {
-				reply("ERR bad delta: %v", err)
-				break
-			}
-			prior, err := node.FAA(ctx, hashKey(fields[1]), d)
-			switch err {
-			case nil:
-				reply("OK %d", prior)
-			case cluster.ErrAborted:
-				reply("ABORTED")
-			default:
-				reply("ERR %v", err)
-			}
-		case "QUIT":
-			cancel()
-			return
-		default:
-			reply("ERR unknown command %q", fields[0])
-		}
-		cancel()
+	log.Printf("hermes-node %d: replicas=%v clients=%s shards=%d window=%d",
+		self, addrs, ln.Addr(), w, *window)
+	if err := srv.Serve(ln); err != nil && err != server.ErrServerClosed {
+		log.Fatalf("serve: %v", err)
 	}
 }

@@ -1,34 +1,16 @@
 package main
 
 import (
-	"bufio"
 	"net"
-	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/proto"
+	"repro/internal/server"
+	"repro/internal/transport"
 )
-
-func TestHashKeyNumericPassthrough(t *testing.T) {
-	if hashKey("42") != 42 {
-		t.Fatal("numeric keys must map to themselves")
-	}
-	if hashKey("18446744073709551615") != proto.Key(^uint64(0)) {
-		t.Fatal("max uint64 key")
-	}
-}
-
-func TestHashKeyStringsStableAndSpread(t *testing.T) {
-	a, b := hashKey("user:1"), hashKey("user:2")
-	if a == b {
-		t.Fatal("distinct strings collided (astronomically unlikely)")
-	}
-	if a != hashKey("user:1") {
-		t.Fatal("hash not stable")
-	}
-}
 
 func TestParsePeers(t *testing.T) {
 	addrs, ids, err := parsePeers("1=127.0.0.1:7001, 0=127.0.0.1:7000,2=127.0.0.1:7002")
@@ -48,51 +30,48 @@ func TestParsePeers(t *testing.T) {
 	}
 }
 
-// End-to-end text protocol against a single-replica node.
-func TestServeClientProtocol(t *testing.T) {
-	tr := cluster.NewChanTransport([]proto.NodeID{0})
-	defer tr.Close()
-	node := cluster.NewNode(cluster.NodeConfig{
-		ID: 0, View: proto.View{Epoch: 1, Members: []proto.NodeID{0}},
-	}, tr)
+// End-to-end over the exact stack main assembles: a real TCP mesh (single
+// replica), a sharded node, the wire server, and the pipelined client.
+func TestWireServingStack(t *testing.T) {
+	mesh, err := transport.NewMesh(0, map[proto.NodeID]string{0: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	node := cluster.NewShardedNode(cluster.ShardedConfig{
+		ID: 0, View: proto.View{Epoch: 1, Members: []proto.NodeID{0}}, Shards: 2,
+	}, mesh)
 	defer node.Close()
+	srv := server.New(server.Config{Backend: node})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
 
-	server, client := net.Pipe()
-	go serveClient(server, node)
-	defer client.Close()
-	rd := bufio.NewReader(client)
-	send := func(line string) string {
-		t.Helper()
-		client.SetDeadline(time.Now().Add(5 * time.Second))
-		if _, err := client.Write([]byte(line + "\n")); err != nil {
-			t.Fatal(err)
-		}
-		resp, err := rd.ReadString('\n')
-		if err != nil {
-			t.Fatal(err)
-		}
-		return strings.TrimSpace(resp)
+	c, err := client.Dial(ln.Addr().String(), client.Config{DialTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer c.Close()
 
-	if got := send("SET greeting hello world"); got != "OK" {
-		t.Fatalf("SET: %q", got)
+	if err := c.Write(proto.Key(1), []byte("hello world")); err != nil {
+		t.Fatal(err)
 	}
-	if got := send("GET greeting"); got != "OK hello world" {
-		t.Fatalf("GET: %q", got)
+	if v, err := c.Read(proto.Key(1)); err != nil || string(v) != "hello world" {
+		t.Fatalf("read=%q err=%v", v, err)
 	}
-	if got := send("CAS greeting wrong new"); !strings.HasPrefix(got, "FAIL hello") {
-		t.Fatalf("CAS fail: %q", got)
+	if ok, obs, err := c.CAS(proto.Key(1), []byte("wrong"), []byte("new")); err != nil || ok || string(obs) != "hello world" {
+		t.Fatalf("cas swapped=%v obs=%q err=%v", ok, obs, err)
 	}
-	if got := send("FAA counter 5"); got != "OK 0" {
-		t.Fatalf("FAA: %q", got)
+	if err := c.Write(proto.Key(2), proto.EncodeInt64(0)); err != nil {
+		t.Fatal(err)
 	}
-	if got := send("FAA counter 2"); got != "OK 5" {
-		t.Fatalf("FAA2: %q", got)
+	if prior, err := c.FAA(proto.Key(2), 5); err != nil || prior != 0 {
+		t.Fatalf("faa prior=%d err=%v", prior, err)
 	}
-	if got := send("BOGUS"); !strings.HasPrefix(got, "ERR") {
-		t.Fatalf("BOGUS: %q", got)
-	}
-	if got := send("GET"); !strings.HasPrefix(got, "ERR usage") {
-		t.Fatalf("GET no args: %q", got)
+	if prior, err := c.FAA(proto.Key(2), 2); err != nil || prior != 5 {
+		t.Fatalf("faa2 prior=%d err=%v", prior, err)
 	}
 }

@@ -8,9 +8,12 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"net"
 
+	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/proto"
+	"repro/internal/server"
 )
 
 func main() {
@@ -49,4 +52,34 @@ func main() {
 	// Compare-and-swap.
 	swapped, _, _ := group.Nodes[1].CAS(ctx, 1, proto.Value("hello hermes"), proto.Value("updated"))
 	fmt.Printf("cas swapped: %v\n", swapped)
+
+	// The wire: front a replica with the TCP serving layer and talk to it
+	// with the pipelined client — the same stack `hermes-node -listen` and
+	// `hermes-cli` run. Reads are still served lock-free, on the server's
+	// session goroutine, without entering a shard event loop.
+	srv := server.New(server.Config{Backend: group.Nodes[0]})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+
+	c, err := client.Dial(ln.Addr().String(), client.Config{})
+	if err != nil {
+		log.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Write(3, proto.Value("over the wire")); err != nil {
+		log.Fatalf("wire write: %v", err)
+	}
+	wv, err := c.Read(3)
+	if err != nil {
+		log.Fatalf("wire read: %v", err)
+	}
+	prior, err := c.FAA(2, 12)
+	if err != nil {
+		log.Fatalf("wire faa: %v", err)
+	}
+	fmt.Printf("wire read: %s (window %d); wire faa prior=%d\n", wv, c.Window(), prior)
 }

@@ -1,0 +1,279 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/proto"
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// This file measures the WIRE-SERVED client path (internal/server +
+// internal/client): thousands of concurrent pipelined TCP sessions against
+// one node of a 3-replica in-process group, the deployment shape the paper's
+// §6 client machines present. The replica mesh stays in-process (identical
+// to -exp reads) so the delta against the in-process baseline isolates
+// exactly what the serving layer adds: framing, session scheduling, and the
+// per-session response coalescer. Reads must still ride the lock-free fast
+// path — served on the server's session goroutines via ReadLocal — so wire
+// read throughput should hold a large fraction of the in-process number
+// while p50/p99/p999 stay flat as sessions grow.
+
+// clientsShards pins the engine shard count of the experiment (the
+// acceptance point: W=4, the in-process -exp reads comparison row).
+const clientsShards = 4
+
+// clientsMaxDepth bounds each session's in-flight requests. Well under the
+// server's granted window so the benchmark exercises pipelining without
+// measuring its own queueing: with thousands of sessions the aggregate
+// outstanding load (sessions × depth) is what saturates the node.
+const clientsMaxDepth = 16
+
+// clientsDepth picks each session's pipeline depth so the AGGREGATE
+// outstanding load scales with the host's parallelism rather than the
+// session count. Uncapped depth at thousands of sessions floods the shard
+// engines far past their service rate; once queueing delay crosses the MLT,
+// retransmissions amplify the overload into congestion collapse — the
+// benchmark would measure its own storm, not the serving layer.
+func clientsDepth(sessions int) int {
+	target := 256 * runtime.GOMAXPROCS(0)
+	d := target / sessions
+	if d < 1 {
+		d = 1
+	}
+	if d > clientsMaxDepth {
+		d = clientsMaxDepth
+	}
+	return d
+}
+
+// clientsSessionCounts picks the session axis by scale: CI smoke stays
+// small, the full run demonstrates ≥1000 concurrent pipelined sessions.
+func clientsSessionCounts(sc Scale) []int {
+	if sc.Sessions <= QuickScale().Sessions && sc.Duration <= QuickScale().Duration {
+		return []int{8, 64}
+	}
+	return []int{64, 256, 1024}
+}
+
+// ClientsPointResult is one measured wire-serving configuration.
+type ClientsPointResult struct {
+	Sessions             int
+	Ops                  uint64
+	Elapsed              time.Duration
+	Reads                uint64
+	FastHits, FastMisses uint64
+	// Lat holds one histogram per op class, keyed "read"/"write"/"rmw".
+	Lat map[string]*stats.Histogram
+}
+
+// Tput returns completed ops per second of wall clock.
+func (r ClientsPointResult) Tput() float64 {
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// ReadTput returns completed reads per second of wall clock.
+func (r ClientsPointResult) ReadTput() float64 {
+	return float64(r.Reads) / r.Elapsed.Seconds()
+}
+
+// HitRate returns the fraction of wire reads served by the lock-free fast
+// path (on the server's session goroutines, never entering an event loop).
+func (r ClientsPointResult) HitRate() float64 {
+	if r.Reads == 0 {
+		return 0
+	}
+	return float64(r.FastHits) / float64(r.Reads)
+}
+
+// latClass maps an op kind to its histogram key.
+func latClass(k proto.OpKind) string {
+	switch k {
+	case proto.OpRead:
+		return "read"
+	case proto.OpWrite:
+		return "write"
+	default:
+		return "rmw"
+	}
+}
+
+// RunClientsPoint stands up a 3-replica W-shard group, fronts node 0 with
+// the wire server on a loopback TCP listener, and drives it with `sessions`
+// pipelined client sessions for roughly dur. The workload is the paper's
+// shape: zipfian(0.99) keys over a preloaded keyspace, 95% reads, RMWs
+// (FAA and CAS) inside the write mix.
+func RunClientsPoint(sessions int, dur time.Duration, keys uint64) ClientsPointResult {
+	raiseFDLimit()
+	grp := cluster.NewShardedLocal(cluster.LocalConfig{N: 3}, clientsShards)
+	defer grp.Close()
+	node := grp.Nodes[0]
+
+	// Preload in-process (not over the wire): reads must land on Valid keys,
+	// and the preload is setup, not measurement.
+	ctx := context.Background()
+	var pre sync.WaitGroup
+	const loaders = 8
+	for i := 0; i < loaders; i++ {
+		pre.Add(1)
+		go func(i int) {
+			defer pre.Done()
+			for k := uint64(i); k < keys; k += loaders {
+				if err := node.Write(ctx, proto.Key(k), proto.EncodeInt64(1)); err != nil {
+					panic(fmt.Sprintf("bench: preload: %v", err))
+				}
+			}
+		}(i)
+	}
+	pre.Wait()
+
+	srv := server.New(server.Config{Backend: node})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("bench: listen: %v", err))
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+
+	// Dial all sessions before the clock starts (connection setup is not
+	// the measurement), in parallel — thousands of serial dials would
+	// dominate the run.
+	clients := make([]*client.Client, sessions)
+	var dial sync.WaitGroup
+	const dialers = 32
+	for d := 0; d < dialers; d++ {
+		dial.Add(1)
+		go func(d int) {
+			defer dial.Done()
+			for i := d; i < sessions; i += dialers {
+				c, err := client.Dial(addr, client.Config{})
+				if err != nil {
+					panic(fmt.Sprintf("bench: dial session %d: %v", i, err))
+				}
+				clients[i] = c
+			}
+		}(d)
+	}
+	dial.Wait()
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	lat := map[string]*stats.Histogram{
+		"read": stats.NewHistogram(), "write": stats.NewHistogram(), "rmw": stats.NewHistogram(),
+	}
+	var ops, reads atomic.Uint64
+	_, hits0, misses0 := node.ReadStats()
+
+	// Build the workload generators BEFORE the clock starts. Zipfian
+	// construction is O(keys) of math.Pow — per-session inside the timed
+	// window it dominates a short run outright — and the harmonic table
+	// depends only on (keys, theta), so one shared chooser serves every
+	// session (it is immutable; per-draw state lives in each session's rng).
+	wlCfg := workload.Config{
+		Keys: keys, WriteRatio: 0.05, RMWRatio: 0.2, CASRatio: 0.5,
+		ValueSize: 32, Zipf: true,
+	}
+	chooser := workload.NewZipfian(keys, 0.99, true)
+	gens := make([]*workload.Generator, sessions)
+	for s := range gens {
+		gens[s] = workload.NewGeneratorWith(wlCfg, chooser, int64(s)+1)
+	}
+
+	depth := clientsDepth(sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(dur)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c := clients[s]
+			gen := gens[s]
+			// tokens caps this session's in-flight requests at depth;
+			// completions return tokens from the pump goroutine.
+			tokens := make(chan struct{}, depth)
+			for i := 0; ; i++ {
+				if i&15 == 0 && !time.Now().Before(deadline) {
+					break
+				}
+				op := gen.Next()
+				cls := latClass(op.Kind)
+				issued := time.Now()
+				tokens <- struct{}{}
+				err := c.Do(op.Kind, op.Key, op.Value, op.Expected, func(r proto.ClientResp, err error) {
+					if err == nil {
+						lat[cls].Record(time.Since(issued))
+						ops.Add(1)
+						if cls == "read" {
+							reads.Add(1)
+						}
+					}
+					<-tokens
+				})
+				if err != nil {
+					panic(fmt.Sprintf("bench: session %d: %v", s, err))
+				}
+			}
+			// Drain: every token back means every completion has fired.
+			for i := 0; i < depth; i++ {
+				tokens <- struct{}{}
+			}
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	_, hits1, misses1 := node.ReadStats()
+	return ClientsPointResult{
+		Sessions:   sessions,
+		Ops:        ops.Load(),
+		Elapsed:    elapsed,
+		Reads:      reads.Load(),
+		FastHits:   hits1 - hits0,
+		FastMisses: misses1 - misses0,
+		Lat:        lat,
+	}
+}
+
+// Clients measures the wire serving layer as concurrent pipelined sessions
+// grow, reporting throughput, the lock-free fast-path hit rate, tail latency
+// (p50/p99/p999) per op class, and wire read throughput as a percentage of
+// the in-process -exp reads baseline at the same shard count — the number
+// that says what a socket costs against the paper's in-process fast path.
+func Clients(sc Scale) *stats.Table {
+	dur := readBenchDur(sc)
+	keys := sc.Keys
+	if keys > 1<<16 {
+		keys = 1 << 16 // preload bound; zipf keeps traffic hot regardless
+	}
+	// In-process baseline: same 3-replica topology, same shard count, same
+	// read mix, no wire. Its read throughput is the comparison denominator.
+	base := RunReadPoint(clientsShards, 8, 0.95, dur, false)
+
+	t := &stats.Table{Header: []string{
+		"sessions", "ops/s(M)", "reads/s(M)", "hit%", "inproc%",
+		"rd p50", "rd p99", "rd p999", "wr p99", "rmw p99",
+	}}
+	for _, n := range clientsSessionCounts(sc) {
+		r := RunClientsPoint(n, dur, keys)
+		rd := r.Lat["read"].Snapshot()
+		t.AddRow(n, Mops(r.Tput()), Mops(r.ReadTput()),
+			fmt.Sprintf("%.1f", 100*r.HitRate()),
+			fmt.Sprintf("%.0f", 100*r.ReadTput()/base.ReadTput()),
+			Micros(rd.Median()), Micros(rd.P99()), Micros(rd.P999()),
+			Micros(r.Lat["write"].P99()), Micros(r.Lat["rmw"].P99()))
+	}
+	return t
+}

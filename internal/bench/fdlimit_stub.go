@@ -1,0 +1,7 @@
+//go:build !unix
+
+package bench
+
+// raiseFDLimit is a no-op on platforms without RLIMIT_NOFILE; session
+// counts are bounded by whatever the OS grants.
+func raiseFDLimit() {}

@@ -1,0 +1,20 @@
+//go:build unix
+
+package bench
+
+import "syscall"
+
+// raiseFDLimit lifts RLIMIT_NOFILE to its hard maximum: the clients
+// experiment opens thousands of TCP sessions (each one fd on the client
+// side and one on the server side, in-process), which overruns the common
+// 1024 soft default long before the workload is interesting.
+func raiseFDLimit() {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return
+	}
+	if lim.Cur < lim.Max {
+		lim.Cur = lim.Max
+		syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+	}
+}

@@ -1,0 +1,334 @@
+// Package client is the pipelined wire client for the serving layer
+// (internal/server): one TCP connection carrying many in-flight requests,
+// correlated by sequence number, flow-controlled by the window the server
+// grants at handshake. The blocking API (Read/Write/CAS/FAA) mirrors
+// cluster.Node's so code written against an in-process node ports to the
+// wire unchanged; the callback API (Do) is what the benchmark's thousands of
+// sessions use to keep the pipeline full without a goroutine per request.
+//
+// Flow control reuses the wings link credit discipline: each request costs
+// one send credit, each response repays one implicitly, so a Send past the
+// window blocks the caller — the client-side half of the server's admission
+// contract, which guarantees a compliant client is never killed for
+// overrunning its window.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/wings"
+)
+
+// ErrAborted reports an RMW that lost to a concurrent conflicting update
+// (paper §3.6); the op had no effect and may be retried.
+var ErrAborted = errors.New("client: rmw aborted by concurrent update")
+
+// ErrNotOperational reports a replica without a valid membership lease (or
+// one shutting down); retry against a current member.
+var ErrNotOperational = errors.New("client: replica not operational")
+
+// ErrClosed reports an operation on a closed client, or one whose
+// connection died mid-flight (the op's fate is unknown; reads and
+// idempotent retries are safe).
+var ErrClosed = errors.New("client: connection closed")
+
+// Config tunes Dial.
+type Config struct {
+	// DialTimeout bounds the TCP connect + handshake (default 5s).
+	DialTimeout time.Duration
+}
+
+// Client is one pipelined session. Safe for concurrent use by any number of
+// goroutines; requests interleave on the single connection.
+type Client struct {
+	addr   string
+	cfg    Config
+	window int
+
+	mu      sync.Mutex
+	conn    net.Conn
+	link    *wings.Link
+	waiters map[uint64]waiter
+	nextSeq uint64
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// waiter is one in-flight request's completion sink: a channel for the
+// blocking API or a callback for Do. Exactly one is set.
+type waiter struct {
+	ch chan proto.ClientResp
+	fn func(proto.ClientResp, error)
+}
+
+// respChPool recycles the blocking API's single-use response channels.
+var respChPool = sync.Pool{
+	New: func() any { return make(chan proto.ClientResp, 1) },
+}
+
+// Dial connects and performs the session handshake, returning a live client.
+func Dial(addr string, cfg Config) (*Client, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	c := &Client{addr: addr, cfg: cfg, waiters: make(map[uint64]waiter)}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connect dials, handshakes, and starts the read pump. Caller must not hold
+// c.mu for the whole duration — it is only taken to publish the new conn.
+func (c *Client) connect() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+	if _, err := conn.Write(wings.ClientMagic[:]); err != nil {
+		conn.Close()
+		return err
+	}
+	var reply [8]byte
+	if _, err := io.ReadFull(conn, reply[:]); err != nil {
+		conn.Close()
+		return err
+	}
+	if [4]byte(reply[:4]) != wings.ClientMagic {
+		conn.Close()
+		return fmt.Errorf("client: bad handshake from %s", c.addr)
+	}
+	window := int(uint32(reply[4]) | uint32(reply[5])<<8 | uint32(reply[6])<<16 | uint32(reply[7])<<24)
+	if window <= 0 || window > 1<<20 {
+		conn.Close()
+		return fmt.Errorf("client: server granted absurd window %d", window)
+	}
+	conn.SetDeadline(time.Time{})
+
+	link := wings.NewLink(conn, wings.LinkConfig{
+		Credits: window,
+		IsResponse: func(m any) bool {
+			_, ok := m.(proto.ClientResp)
+			return ok
+		},
+	})
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return ErrClosed
+	}
+	c.conn = conn
+	c.link = link
+	c.window = window
+	c.mu.Unlock()
+
+	c.wg.Add(1)
+	go c.pump(conn, link)
+	return nil
+}
+
+// pump reads responses and dispatches them to waiters; on any stream error
+// it fails every in-flight request (their fate is unknown) and leaves the
+// client disconnected — the next request lazily reconnects.
+func (c *Client) pump(conn net.Conn, link *wings.Link) {
+	defer c.wg.Done()
+	link.Serve(conn, func(msg any) {
+		resp, ok := msg.(proto.ClientResp)
+		if !ok {
+			return // server never sends anything else; tolerate and drop
+		}
+		c.mu.Lock()
+		w := c.waiters[resp.Seq]
+		delete(c.waiters, resp.Seq)
+		c.mu.Unlock()
+		switch {
+		case w.fn != nil:
+			w.fn(resp, nil)
+		case w.ch != nil:
+			w.ch <- resp
+		}
+	})
+	conn.Close()
+	link.Close()
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+		c.link = nil
+	}
+	stranded := c.waiters
+	c.waiters = make(map[uint64]waiter)
+	c.mu.Unlock()
+	for _, w := range stranded {
+		switch {
+		case w.fn != nil:
+			w.fn(proto.ClientResp{}, ErrClosed)
+		case w.ch != nil:
+			w.ch <- proto.ClientResp{Status: proto.NotOperational, Seq: ^uint64(0)}
+		}
+	}
+}
+
+// Window reports the pipelining window the server granted.
+func (c *Client) Window() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.window
+}
+
+// Close tears the session down; in-flight requests fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// send registers w under a fresh seq and ships the request, lazily
+// reconnecting a dead session first. Blocks when the window is exhausted
+// (the link's credit discipline).
+func (c *Client) send(op proto.OpKind, key proto.Key, val, exp proto.Value, w waiter) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.conn == nil {
+		c.mu.Unlock()
+		if err := c.connect(); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		if c.closed || c.conn == nil {
+			c.mu.Unlock()
+			return ErrClosed
+		}
+	}
+	c.nextSeq++
+	seq := c.nextSeq
+	link := c.link
+	c.waiters[seq] = w
+	c.mu.Unlock()
+
+	err := link.Send(proto.ClientReq{Seq: seq, Op: op, Key: key, Value: val, Expected: exp})
+	if err != nil {
+		// The request never shipped; the pump's strand sweep may already have
+		// consumed the waiter, in which case the caller's sink was notified.
+		c.mu.Lock()
+		_, still := c.waiters[seq]
+		delete(c.waiters, seq)
+		c.mu.Unlock()
+		if !still {
+			return nil
+		}
+		return ErrClosed
+	}
+	return nil
+}
+
+// Do issues one request and invokes fn with the response (or error) from the
+// read-pump goroutine; fn must not block. This is the pipelined path: a
+// single goroutine can keep the whole window in flight.
+func (c *Client) Do(op proto.OpKind, key proto.Key, val, exp proto.Value, fn func(proto.ClientResp, error)) error {
+	if fn == nil {
+		panic("client: nil callback")
+	}
+	return c.send(op, key, val, exp, waiter{fn: fn})
+}
+
+// call is the blocking request path shared by Read/Write/CAS/FAA.
+func (c *Client) call(op proto.OpKind, key proto.Key, val, exp proto.Value) (proto.ClientResp, error) {
+	ch := respChPool.Get().(chan proto.ClientResp)
+	if err := c.send(op, key, val, exp, waiter{ch: ch}); err != nil {
+		respChPool.Put(ch)
+		return proto.ClientResp{}, err
+	}
+	resp := <-ch
+	respChPool.Put(ch)
+	if resp.Seq == ^uint64(0) {
+		return proto.ClientResp{}, ErrClosed
+	}
+	return resp, nil
+}
+
+// Read performs a linearizable read.
+func (c *Client) Read(key proto.Key) (proto.Value, error) {
+	resp, err := c.call(proto.OpRead, key, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != proto.OK {
+		return nil, statusErr(resp.Status)
+	}
+	return resp.Value, nil
+}
+
+// Write performs a linearizable write.
+func (c *Client) Write(key proto.Key, val proto.Value) error {
+	resp, err := c.call(proto.OpWrite, key, val, nil)
+	if err != nil {
+		return err
+	}
+	if resp.Status != proto.OK {
+		return statusErr(resp.Status)
+	}
+	return nil
+}
+
+// CAS performs a compare-and-swap; swapped=false with err==nil means the
+// comparand mismatched and observed holds the current value.
+func (c *Client) CAS(key proto.Key, expect, val proto.Value) (swapped bool, observed proto.Value, err error) {
+	resp, err := c.call(proto.OpCAS, key, val, expect)
+	if err != nil {
+		return false, nil, err
+	}
+	switch resp.Status {
+	case proto.OK:
+		return true, nil, nil
+	case proto.CASFailed:
+		return false, resp.Value, nil
+	default:
+		return false, nil, statusErr(resp.Status)
+	}
+}
+
+// FAA atomically adds delta and returns the prior value; ErrAborted means
+// the RMW lost to a concurrent update and may be retried.
+func (c *Client) FAA(key proto.Key, delta int64) (int64, error) {
+	resp, err := c.call(proto.OpFAA, key, proto.EncodeInt64(delta), nil)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != proto.OK {
+		return 0, statusErr(resp.Status)
+	}
+	return proto.DecodeInt64(resp.Value), nil
+}
+
+// statusErr maps a non-OK wire status to the package's sentinel errors.
+func statusErr(s proto.Status) error {
+	switch s {
+	case proto.Aborted:
+		return ErrAborted
+	case proto.NotOperational:
+		return ErrNotOperational
+	default:
+		return fmt.Errorf("client: status %v", s)
+	}
+}

@@ -145,9 +145,16 @@ type Node struct {
 	updates atomic.Uint64
 
 	mu      sync.Mutex
-	waiters map[uint64]chan proto.Completion
+	waiters map[uint64]waiter
 
 	start time.Time
+}
+
+// waiter is one op's completion sink: a single-use channel for the blocking
+// API (Read/Write/CAS/FAA) or a callback for SubmitAsync. Exactly one is set.
+type waiter struct {
+	ch chan proto.Completion
+	fn func(proto.Completion)
 }
 
 // nodeEnv adapts the Node to proto.Env. Only the event-loop goroutine
@@ -160,11 +167,16 @@ func (e nodeEnv) Send(to proto.NodeID, msg any) {
 }
 func (e nodeEnv) Complete(c proto.Completion) {
 	e.n.mu.Lock()
-	ch := e.n.waiters[c.OpID]
+	w := e.n.waiters[c.OpID]
 	delete(e.n.waiters, c.OpID)
 	e.n.mu.Unlock()
-	if ch != nil {
-		ch <- c
+	switch {
+	case w.fn != nil:
+		// SubmitAsync callback: runs on the event-loop goroutine, so it must
+		// not block (the contract SubmitAsync documents).
+		w.fn(c)
+	case w.ch != nil:
+		w.ch <- c
 	}
 }
 
@@ -194,7 +206,7 @@ func NewNode(cfg NodeConfig, tr Transport) *Node {
 		ops:     make(chan proto.ClientOp, 1024),
 		msgs:    make(chan env, 8192),
 		stop:    make(chan struct{}),
-		waiters: make(map[uint64]chan proto.Completion),
+		waiters: make(map[uint64]waiter),
 		start:   time.Now(),
 	}
 	n.h = core.New(core.Config{
@@ -407,7 +419,7 @@ func (n *Node) do(ctx context.Context, op proto.ClientOp) (proto.Completion, err
 	}
 	ch := completionChPool.Get().(chan proto.Completion)
 	n.mu.Lock()
-	n.waiters[op.ID] = ch
+	n.waiters[op.ID] = waiter{ch: ch}
 	n.mu.Unlock()
 	select {
 	case n.ops <- op:
@@ -436,6 +448,41 @@ func (n *Node) do(ctx context.Context, op proto.ClientOp) (proto.Completion, err
 		return proto.Completion{}, ctx.Err()
 	case <-n.stop:
 		return proto.Completion{}, ErrClosed
+	}
+}
+
+// ReadLocal attempts the lock-free local-read fast path on the caller's
+// goroutine: one atomic gate load and one store lookup, never touching the
+// event loop. ok=false means the caller must fall back to a submitted read
+// (SubmitAsync or Read) — the key is not Valid, the gate is shut, or NoLSC
+// mode forbids the fast path. The client serving layer calls this on session
+// goroutines so wire reads keep the §4.1 fast path end to end.
+func (n *Node) ReadLocal(key proto.Key) (proto.Value, bool) {
+	return n.h.ReadLocal(key)
+}
+
+// SubmitAsync submits op to the event loop and invokes fn with its
+// completion instead of blocking the caller — the pipelined serving layer's
+// path: one session goroutine keeps hundreds of ops in flight without a
+// goroutine per op. fn runs on the event-loop goroutine and MUST NOT block
+// (enqueue and return; a blocking fn stalls the whole shard). op.ID is
+// assigned here; the completion's OpID echoes it. Blocks only if the ops
+// queue is full (bounded backpressure on the submitting session, never on
+// other sessions or shards). Returns ErrClosed on a stopped node.
+func (n *Node) SubmitAsync(op proto.ClientOp, fn func(proto.Completion)) error {
+	op.ID = n.nextOp.Add(1)
+	if op.Kind.IsUpdate() {
+		n.updates.Add(1)
+	}
+	n.mu.Lock()
+	n.waiters[op.ID] = waiter{fn: fn}
+	n.mu.Unlock()
+	select {
+	case n.ops <- op:
+		return nil
+	case <-n.stop:
+		n.forget(op.ID)
+		return ErrClosed
 	}
 }
 

@@ -420,6 +420,18 @@ func (sn *ShardedNode) Read(ctx context.Context, key proto.Key) (proto.Value, er
 	return sn.shardFor(key).Read(ctx, key)
 }
 
+// ReadLocal attempts the lock-free fast path against the owning shard's
+// store segment on the caller's goroutine; see Node.ReadLocal.
+func (sn *ShardedNode) ReadLocal(key proto.Key) (proto.Value, bool) {
+	return sn.shardFor(key).ReadLocal(key)
+}
+
+// SubmitAsync routes op to its owning shard's event loop and invokes fn with
+// the completion; see Node.SubmitAsync for the callback contract.
+func (sn *ShardedNode) SubmitAsync(op proto.ClientOp, fn func(proto.Completion)) error {
+	return sn.shardFor(op.Key).SubmitAsync(op, fn)
+}
+
 // ReadStats sums the shard engines' read-side counters (total reads,
 // fast-path hits, fast-path fallbacks); safe to call concurrently with
 // traffic.

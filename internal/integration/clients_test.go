@@ -1,0 +1,306 @@
+package integration
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/linear"
+	"repro/internal/proto"
+	"repro/internal/server"
+)
+
+// These tests drive the WIRE serving stack — internal/server fronting a live
+// 3-replica sharded group, internal/client sessions over real TCP — with
+// over a hundred pipelined sessions hammering a handful of hot keys, and
+// check every key's observed history against the Wing–Gong oracle. They are
+// the wire counterpart of TestShardedFastReadsLinearizableUnderViewChanges:
+// real sockets, real session goroutines, reads on the server's lock-free
+// fast path racing writes, CASes and FAAs through the shard event loops.
+
+// wireHistory wraps linear.History for concurrent recording: client
+// completion callbacks run on per-session pump goroutines.
+type wireHistory struct {
+	mu     sync.Mutex
+	hist   *linear.History
+	start  time.Time
+	nextID atomic.Uint64
+}
+
+func newWireHistory() *wireHistory {
+	return &wireHistory{hist: linear.NewHistory(), start: time.Now()}
+}
+
+func (w *wireHistory) invoke(key proto.Key, kind linear.Kind, arg, exp proto.Value) uint64 {
+	id := w.nextID.Add(1)
+	w.mu.Lock()
+	w.hist.Invoke(id, key, kind, arg, exp, time.Since(w.start))
+	w.mu.Unlock()
+	return id
+}
+
+func (w *wireHistory) ret(id uint64, kind linear.Kind, out proto.Value) {
+	w.mu.Lock()
+	w.hist.Return(id, kind, out, time.Since(w.start))
+	w.mu.Unlock()
+}
+
+func (w *wireHistory) discard(id uint64) {
+	w.mu.Lock()
+	w.hist.Discard(id)
+	w.mu.Unlock()
+}
+
+// seedKeys records the preload writes: the oracle models registers as
+// initially empty, so the pre-session writes must be part of the history
+// (sequenced before every session op, which real time already guarantees).
+func (w *wireHistory) seedKeys(hotKeys int) {
+	for k := 0; k < hotKeys; k++ {
+		id := w.invoke(proto.Key(k), linear.KWrite, proto.EncodeInt64(0), nil)
+		w.ret(id, linear.KWrite, nil)
+	}
+}
+
+func (w *wireHistory) check(t *testing.T) {
+	t.Helper()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.hist.Close()
+	if k, res, ok := w.hist.CheckAll(); !ok {
+		t.Fatalf("history of key %d not linearizable: %s", k, res.Info)
+	}
+}
+
+// serveWireGroup stands up a live sharded group (W engine shards per node)
+// with the wire server on node 0 and returns the dial address. The hot keys
+// are preloaded: a read of a never-written key waits for a write that may
+// never come (Hermes has no negative acknowledgement for absent keys), so
+// the histories must start from written registers.
+func serveWireGroup(t *testing.T, shards, hotKeys int) (*cluster.ShardedLocal, string) {
+	t.Helper()
+	grp := cluster.NewShardedLocal(cluster.LocalConfig{N: 3, MLT: 5 * time.Millisecond}, shards)
+	t.Cleanup(grp.Close)
+	ctx := context.Background()
+	for k := 0; k < hotKeys; k++ {
+		if err := grp.Nodes[0].Write(ctx, proto.Key(k), proto.EncodeInt64(0)); err != nil {
+			t.Fatalf("preload key %d: %v", k, err)
+		}
+	}
+	srv := server.New(server.Config{Backend: grp.Nodes[0]})
+	t.Cleanup(func() { srv.Close() })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	return grp, ln.Addr().String()
+}
+
+// record routes one wire completion into the history with the status
+// semantics the protocol guarantees: Aborted RMWs provably never applied
+// (discard); CASFailed observed the register (KCASFail with the observed
+// value); reads that errored observed nothing (discard). NotOperational
+// updates MAY have applied in general, so callers that can see one must
+// leave the invocation pending instead of calling record.
+func record(h *wireHistory, id uint64, kind proto.OpKind, resp proto.ClientResp) {
+	switch {
+	case resp.Status == proto.OK && kind == proto.OpRead:
+		h.ret(id, linear.KRead, resp.Value)
+	case resp.Status == proto.OK && kind == proto.OpWrite:
+		h.ret(id, linear.KWrite, nil)
+	case resp.Status == proto.OK && kind == proto.OpFAA:
+		h.ret(id, linear.KFAA, resp.Value)
+	case resp.Status == proto.OK && kind == proto.OpCAS:
+		h.ret(id, linear.KCASOk, nil)
+	case resp.Status == proto.CASFailed:
+		h.ret(id, linear.KCASFail, resp.Value)
+	case resp.Status == proto.Aborted:
+		h.discard(id)
+	}
+}
+
+// TestWireClientsLinearizableOnHotKeys runs ≥100 pipelined wire sessions,
+// W=4 engine shards: reads racing writes, failing-and-succeeding CASes and
+// FAAs on hot keys. Every completed op's observed value must admit a
+// linearization. Sessions are grouped into cohorts of 8 per hot key — each
+// key sees 8 concurrent pipelined sessions, which keeps the Wing–Gong
+// search tractable (its cost is exponential in per-key CONCURRENCY, not in
+// session count; >100 sessions all on one key is unCheckable).
+func TestWireClientsLinearizableOnHotKeys(t *testing.T) {
+	const (
+		cohort   = 6
+		hotKeys  = 17
+		sessions = cohort * hotKeys // 102
+		opsEach  = 12
+		depth    = 2 // pipelining per session
+	)
+	grp, addr := serveWireGroup(t, 4, hotKeys)
+	h := newWireHistory()
+	h.seedKeys(hotKeys)
+
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, client.Config{})
+			if err != nil {
+				t.Errorf("session %d dial: %v", s, err)
+				return
+			}
+			defer c.Close()
+			key := proto.Key(s / cohort) // this session's cohort key
+			tokens := make(chan struct{}, depth)
+			for i := 0; i < opsEach; i++ {
+				var kind proto.OpKind
+				var arg, exp proto.Value
+				var lkind linear.Kind
+				switch {
+				case i%4 == 1:
+					kind, lkind = proto.OpWrite, linear.KWrite
+					arg = proto.EncodeInt64(int64(s)<<16 | int64(i))
+				case i%8 == 2:
+					kind, lkind = proto.OpFAA, linear.KFAA
+					arg = proto.EncodeInt64(1)
+				case i%8 == 6:
+					// Mostly-failing CAS: the comparand is a cohort-mate's
+					// unique write value, occasionally present.
+					kind, lkind = proto.OpCAS, linear.KCASOk
+					exp = proto.EncodeInt64(int64(s/cohort*cohort+(s+1)%cohort)<<16 | 1)
+					arg = proto.EncodeInt64(int64(s)<<16 | int64(i) | 1<<40)
+				default:
+					kind, lkind = proto.OpRead, linear.KRead
+				}
+				// Token FIRST, invoke second: an op recorded as invoked
+				// before its send slot opens looks concurrent with the whole
+				// pipeline backlog, inflating the checker's search space.
+				tokens <- struct{}{}
+				id := h.invoke(key, lkind, arg, exp)
+				err := c.Do(kind, key, arg, exp, func(resp proto.ClientResp, err error) {
+					if err != nil {
+						t.Errorf("session %d op %d: %v", s, i, err)
+					} else {
+						if resp.Status == proto.NotOperational {
+							t.Errorf("session %d op %d: NotOperational in steady state", s, i)
+						}
+						record(h, id, kind, resp)
+					}
+					<-tokens
+				})
+				if err != nil {
+					t.Errorf("session %d send: %v", s, err)
+					<-tokens
+					break
+				}
+			}
+			for i := 0; i < depth; i++ {
+				tokens <- struct{}{}
+			}
+		}(s)
+	}
+	wg.Wait()
+	h.check(t)
+
+	// The point of the exercise: the lock-free fast path actually served
+	// wire reads while writes raced it.
+	_, hits, _ := grp.Nodes[0].ReadStats()
+	if hits == 0 {
+		t.Fatal("no fast-path hits: wire reads never rode the lock-free path")
+	}
+}
+
+// TestWireClientsViewInstallStorm re-runs the hot-key storm while view
+// installs sweep every shard engine mid-flight. The contract: every op
+// either completes (and its observed value linearizes) or reports a
+// RETRYABLE status — never a wrong value, and the serving layer itself
+// never errors a session.
+func TestWireClientsViewInstallStorm(t *testing.T) {
+	const (
+		cohort   = 6
+		hotKeys  = 18
+		sessions = cohort * hotKeys // 108
+		opsEach  = 10
+		depth    = 2
+	)
+	grp, addr := serveWireGroup(t, 4, hotKeys)
+	h := newWireHistory()
+	h.seedKeys(hotKeys)
+	var retryable atomic.Uint64
+
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, client.Config{})
+			if err != nil {
+				t.Errorf("session %d dial: %v", s, err)
+				return
+			}
+			defer c.Close()
+			key := proto.Key(s / cohort) // this session's cohort key
+			tokens := make(chan struct{}, depth)
+			for i := 0; i < opsEach; i++ {
+				kind, lkind := proto.OpRead, linear.KRead
+				var arg proto.Value
+				switch i % 4 {
+				case 1:
+					kind, lkind = proto.OpWrite, linear.KWrite
+					arg = proto.EncodeInt64(int64(s)<<16 | int64(i))
+				case 3:
+					kind, lkind = proto.OpFAA, linear.KFAA
+					arg = proto.EncodeInt64(1)
+				}
+				tokens <- struct{}{} // token before invoke; see the hot-key test
+				id := h.invoke(key, lkind, arg, nil)
+				err := c.Do(kind, key, arg, nil, func(resp proto.ClientResp, err error) {
+					switch {
+					case err != nil:
+						t.Errorf("session %d op %d: session error %v", s, i, err)
+					case resp.Status == proto.OK || resp.Status == proto.CASFailed:
+						record(h, id, kind, resp)
+					case resp.Status.Retryable():
+						retryable.Add(1)
+						if resp.Status == proto.Aborted {
+							h.discard(id) // aborted RMWs provably never applied
+						}
+						// NotOperational updates stay pending: they may or
+						// may not have applied; the checker allows both.
+					default:
+						t.Errorf("session %d op %d: unexpected status %v", s, i, resp.Status)
+					}
+					<-tokens
+				})
+				if err != nil {
+					t.Errorf("session %d send: %v", s, err)
+					<-tokens
+					break
+				}
+			}
+			for i := 0; i < depth; i++ {
+				tokens <- struct{}{}
+			}
+		}(s)
+	}
+	// The storm: epoch bumps land on every node (and thus every shard
+	// engine's read gate) while the sessions are mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for e := uint32(2); e <= 5; e++ {
+			time.Sleep(3 * time.Millisecond)
+			v := proto.View{Epoch: e, Members: []proto.NodeID{0, 1, 2}}
+			for _, n := range grp.Nodes {
+				n.InstallView(v)
+			}
+		}
+	}()
+	wg.Wait()
+	h.check(t)
+	t.Logf("retryable completions during storm: %d", retryable.Load())
+}

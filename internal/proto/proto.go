@@ -237,6 +237,13 @@ func (s Status) String() string {
 	}
 }
 
+// Retryable reports whether an operation that completed with this status
+// may be safely resubmitted: it provably had no effect. Aborted RMWs lost to
+// a concurrent update before applying (§3.6); NotOperational replicas
+// rejected the op before any protocol action. The client serving layer
+// forwards these verbatim so wire clients can implement retry loops.
+func (s Status) Retryable() bool { return s == Aborted || s == NotOperational }
+
 // Completion reports the outcome of a ClientOp back to the session that
 // submitted it.
 type Completion struct {
@@ -348,6 +355,32 @@ type ViewLogReq struct {
 // by other means).
 type ViewLogResp struct {
 	Updates []MUpdate
+}
+
+// ClientReq is one pipelined request of the client wire protocol — the
+// front-end traffic the server layer (internal/server) multiplexes onto the
+// shard engines. Seq is a session-scoped correlator chosen by the client:
+// many requests may be in flight on one connection, and responses may return
+// in any order (reads served on the session goroutine overtake queued
+// updates), so the client matches responses to requests by Seq, never by
+// position. Like the protocol's own messages it is framed by internal/wings;
+// it is client↔server traffic only and never rides the replica mesh or a
+// shard envelope.
+type ClientReq struct {
+	Seq      uint64
+	Op       OpKind
+	Key      Key
+	Value    Value // write/CAS new value; FAA delta (8-byte LE)
+	Expected Value // CAS comparand
+}
+
+// ClientResp answers one ClientReq: the echoed Seq, how the op completed,
+// and its result value (read result, failed-CAS observed value, or FAA's
+// prior value — exactly Completion.Value).
+type ClientResp struct {
+	Seq    uint64
+	Status Status
+	Value  Value
 }
 
 // ShardOf maps a key to one of w keyspace shards. Every node of a cluster

@@ -1,0 +1,364 @@
+// Package server is the wire-native client serving layer: it multiplexes
+// thousands of pipelined client sessions onto a node's W shard engines
+// without reintroducing the per-node serialization point the sharded engine
+// removed (paper §4.1; the partitioned client-session front ends of FaRM and
+// ScaleStore follow the same shape).
+//
+// Each accepted connection becomes one session with one read-pump goroutine.
+// Requests route straight to the owning shard via proto.ShardOf: reads are
+// served lock-free ON THE SESSION GOROUTINE through the backend's ReadLocal
+// fast path — a wire read that hits a Valid key never touches any event
+// loop — and writes/RMWs (plus reads that miss the fast path) are submitted
+// asynchronously to the shard engine, whose completion callback enqueues the
+// response. Responses fan back per session through an opportunistic
+// coalescer: whatever completions accumulate while a flush is in flight ship
+// as one frame (the per-peer egress batching of the sharded engine, applied
+// per session).
+//
+// Admission control bounds server memory per session without any shared
+// lock: a session's outstanding count — requests received minus responses
+// flushed to the socket — may never exceed MaxInflight. A compliant client
+// respects the window granted at handshake (Window < MaxInflight) and is
+// never touched; a client that blasts past the window, or stops reading
+// responses while continuing to send (so TCP backpressure wedges the
+// session's flusher and the response queue grows), is killed at the bound.
+// Either way the damage stays on that session: its pump and flusher block or
+// die, while other sessions and every shard event loop proceed — completion
+// callbacks into a dead or wedged session enqueue-and-return (or drop),
+// never block.
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/proto"
+	"repro/internal/wings"
+)
+
+// Backend is the op-serving surface a session needs from the node: the
+// lock-free local-read fast path and asynchronous submission to the owning
+// shard. Both cluster.Node and cluster.ShardedNode satisfy it.
+type Backend interface {
+	// ReadLocal attempts the §4.1 lock-free read on the caller's goroutine;
+	// ok=false means fall back to SubmitAsync.
+	ReadLocal(key proto.Key) (proto.Value, bool)
+	// SubmitAsync hands op to the owning shard's event loop; fn runs on that
+	// loop with the completion and must not block.
+	SubmitAsync(op proto.ClientOp, fn func(proto.Completion)) error
+}
+
+// DefaultWindow is the pipelining window granted to clients at handshake.
+const DefaultWindow = 256
+
+// DefaultMaxInflight is the per-session outstanding-request bound that kills
+// a session exceeding it. It must be comfortably above the granted window so
+// a compliant client can never trip it, yet small enough that a hostile
+// blaster's response queue stays bounded.
+const DefaultMaxInflight = 1024
+
+// Config parameterizes a Server.
+type Config struct {
+	Backend Backend
+	// Window is the pipelining window granted to clients (default
+	// DefaultWindow). Must be < MaxInflight.
+	Window int
+	// MaxInflight kills any session whose outstanding count (requests
+	// received − responses flushed) exceeds it (default DefaultMaxInflight).
+	MaxInflight int
+}
+
+// Server accepts and serves client sessions. One Server fronts one node
+// (plain or sharded); construct with New, drive with Serve, stop with Close.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	lns      []net.Listener
+	sessions map[*session]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	accepted  atomic.Uint64
+	killed    atomic.Uint64
+	reqs      atomic.Uint64
+	fastReads atomic.Uint64
+}
+
+// New builds a Server over cfg.Backend.
+func New(cfg Config) *Server {
+	if cfg.Backend == nil {
+		panic("server: nil backend")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.MaxInflight <= cfg.Window {
+		cfg.MaxInflight = cfg.Window * 4
+	}
+	return &Server{cfg: cfg, sessions: make(map[*session]struct{})}
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Serve accepts sessions on ln until Close (or a listener error) and blocks
+// while doing so; run it on its own goroutine. Multiple concurrent Serve
+// calls on different listeners are allowed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.accepted.Add(1)
+		sess := &session{srv: s, conn: conn}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.sessions[sess] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go sess.run()
+	}
+}
+
+// Close stops accepting, closes every live session's connection, and waits
+// for their pumps to exit. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	lns := s.lns
+	var sess []*session
+	for se := range s.sessions {
+		sess = append(sess, se)
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, se := range sess {
+		se.kill()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Stats is a snapshot of the server's session counters.
+type Stats struct {
+	Accepted, Active, Killed uint64
+	// Reqs counts requests admitted; FastReads the subset answered by the
+	// lock-free ReadLocal path on the session goroutine.
+	Reqs, FastReads uint64
+}
+
+// Stats reports live counters; safe mid-traffic.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	active := uint64(len(s.sessions))
+	s.mu.Unlock()
+	return Stats{
+		Accepted:  s.accepted.Load(),
+		Active:    active,
+		Killed:    s.killed.Load(),
+		Reqs:      s.reqs.Load(),
+		FastReads: s.fastReads.Load(),
+	}
+}
+
+// session is one client connection: a read pump (run), an outstanding
+// counter for admission, and a response coalescer (enqueue/flushLoop).
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	// outstanding = requests received − responses flushed to the socket; the
+	// pump kills the session when it exceeds MaxInflight. Also bounds the
+	// response queue: every queued response is an outstanding request.
+	outstanding atomic.Int64
+
+	mu       sync.Mutex
+	queue    []proto.ClientResp
+	flushing bool
+	dead     bool
+}
+
+// errTooManyInflight kills a session that exceeded its outstanding bound.
+var errTooManyInflight = errors.New("server: session exceeded inflight bound")
+
+// errNotClientMsg kills a session that sent a non-client-protocol message.
+var errNotClientMsg = errors.New("server: unexpected message type on client session")
+
+func (se *session) run() {
+	defer se.srv.wg.Done()
+	defer se.finish()
+	if !se.handshake() {
+		return
+	}
+	err := wings.ServeFrames(se.conn, se.handle)
+	if err != nil && err != io.EOF {
+		// Protocol violations (bad frames, unknown types, inflight bound) are
+		// already terminal here; nothing to report per session.
+		if errors.Is(err, errTooManyInflight) {
+			se.srv.killed.Add(1)
+		}
+	}
+}
+
+// handshake validates the client magic and grants the pipelining window.
+func (se *session) handshake() bool {
+	var magic [4]byte
+	if _, err := io.ReadFull(se.conn, magic[:]); err != nil || magic != wings.ClientMagic {
+		return false
+	}
+	var reply [8]byte
+	copy(reply[:], wings.ClientMagic[:])
+	w := se.srv.cfg.Window
+	reply[4] = byte(w)
+	reply[5] = byte(w >> 8)
+	reply[6] = byte(w >> 16)
+	reply[7] = byte(w >> 24)
+	_, err := se.conn.Write(reply[:])
+	return err == nil
+}
+
+// handle processes one decoded request on the session goroutine. Returning
+// an error aborts the stream (ServeFrames stops; finish closes the conn).
+func (se *session) handle(msg any) error {
+	req, ok := msg.(proto.ClientReq)
+	if !ok {
+		return errNotClientMsg
+	}
+	if se.outstanding.Add(1) > int64(se.srv.cfg.MaxInflight) {
+		return errTooManyInflight
+	}
+	se.srv.reqs.Add(1)
+	if req.Op == proto.OpRead {
+		if v, ok := se.srv.cfg.Backend.ReadLocal(req.Key); ok {
+			se.srv.fastReads.Add(1)
+			se.enqueue(proto.ClientResp{Seq: req.Seq, Status: proto.OK, Value: v})
+			return nil
+		}
+	}
+	seq := req.Seq
+	err := se.srv.cfg.Backend.SubmitAsync(proto.ClientOp{
+		Kind: req.Op, Key: req.Key, Value: req.Value, Expected: req.Expected,
+	}, func(c proto.Completion) {
+		// Shard event-loop context: enqueue-and-return, never block.
+		se.enqueue(proto.ClientResp{Seq: seq, Status: c.Status, Value: c.Value})
+	})
+	if err != nil {
+		// Node shutting down: tell the client to retry elsewhere rather than
+		// cutting the stream mid-pipeline.
+		se.enqueue(proto.ClientResp{Seq: seq, Status: proto.NotOperational})
+	}
+	return nil
+}
+
+// enqueue queues one response and kicks the flusher. Called from the session
+// goroutine (inline reads) and from shard event loops (completions); never
+// blocks beyond the queue mutex.
+func (se *session) enqueue(resp proto.ClientResp) {
+	se.mu.Lock()
+	if se.dead {
+		se.mu.Unlock()
+		return
+	}
+	se.queue = append(se.queue, resp)
+	if !se.flushing {
+		se.flushing = true
+		go se.flushLoop()
+	}
+	se.mu.Unlock()
+}
+
+// flushLoop drains the response queue into coalesced frames. Opportunistic
+// batching exactly like the wings link flusher: while a socket write is in
+// flight, completions pile into queue and ship together. A stalled reader
+// blocks only this goroutine — the pump keeps counting outstanding and kills
+// the session at the bound.
+func (se *session) flushLoop() {
+	var buf []byte
+	var msgs []any
+	for {
+		se.mu.Lock()
+		if len(se.queue) == 0 || se.dead {
+			se.flushing = false
+			se.mu.Unlock()
+			return
+		}
+		batch := se.queue
+		if len(batch) > wings.MaxFrameMsgs {
+			batch = batch[:wings.MaxFrameMsgs]
+			se.queue = se.queue[wings.MaxFrameMsgs:]
+		} else {
+			se.queue = nil
+		}
+		se.mu.Unlock()
+
+		msgs = msgs[:0]
+		for _, r := range batch {
+			msgs = append(msgs, r)
+		}
+		frame, err := wings.AppendFrame(buf[:0], msgs...)
+		if err != nil {
+			se.kill()
+			return
+		}
+		buf = frame
+		if _, err := se.conn.Write(frame); err != nil {
+			se.kill()
+			return
+		}
+		se.outstanding.Add(-int64(len(batch)))
+	}
+}
+
+// kill marks the session dead and closes its connection, unblocking both the
+// pump (read error) and the flusher (write error). Idempotent.
+func (se *session) kill() {
+	se.mu.Lock()
+	already := se.dead
+	se.dead = true
+	se.queue = nil
+	se.mu.Unlock()
+	if !already {
+		se.conn.Close()
+	}
+}
+
+// finish tears the session down after the pump exits.
+func (se *session) finish() {
+	se.kill()
+	se.srv.mu.Lock()
+	delete(se.srv.sessions, se)
+	se.srv.mu.Unlock()
+}

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,13 +18,21 @@ import (
 // time.Duration samples with bounded relative error (~1/subBuckets) and
 // answers percentile queries without retaining samples.
 //
+// Record is safe to call from any number of goroutines concurrently — the
+// client serving layer's sessions record latencies from their completion
+// callbacks — and every query (Percentile, Mean, Count, …) is race-free
+// against concurrent Records. Queries that walk the whole histogram see a
+// weakly consistent view while traffic is flowing: a Record that races the
+// walk may be partially included. Snapshot takes a private copy whose
+// queries are self-consistent; take one before printing mid-traffic numbers.
+//
 // The zero value is not usable; call NewHistogram.
 type Histogram struct {
-	counts []uint64
-	total  uint64
-	sum    float64
-	min    int64
-	max    int64
+	counts []atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Int64 // sum of samples in nanoseconds (~292 years headroom)
+	min    atomic.Int64
+	max    atomic.Int64
 }
 
 const (
@@ -34,10 +43,9 @@ const (
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
-	return &Histogram{
-		counts: make([]uint64, numExp*subBuckets),
-		min:    math.MaxInt64,
-	}
+	h := &Histogram{counts: make([]atomic.Uint64, numExp*subBuckets)}
+	h.min.Store(math.MaxInt64)
+	return h
 }
 
 func bucketIndex(v int64) int {
@@ -80,66 +88,110 @@ func bucketLow(idx int) int64 {
 	return (int64(subBuckets) + int64(sub)) << (uint(exp) - subBits)
 }
 
-// Record adds one sample.
+// Record adds one sample. Safe for concurrent use.
 func (h *Histogram) Record(d time.Duration) {
 	v := int64(d)
-	h.counts[bucketIndex(v)]++
-	h.total++
-	h.sum += float64(v)
-	if v < h.min {
-		h.min = v
+	h.counts[bucketIndex(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.min.Load()
+		if v >= old || h.min.CompareAndSwap(old, v) {
+			break
+		}
 	}
-	if v > h.max {
-		h.max = v
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
 	}
 }
 
-// Merge adds all samples of o into h.
+// Merge adds all samples of o into h. Both histograms may be under
+// concurrent Record traffic; samples racing the merge land in exactly one
+// of the two.
 func (h *Histogram) Merge(o *Histogram) {
-	for i, c := range o.counts {
-		h.counts[i] += c
+	for i := range o.counts {
+		if c := o.counts[i].Load(); c > 0 {
+			h.counts[i].Add(c)
+		}
 	}
-	h.total += o.total
-	h.sum += o.sum
-	if o.min < h.min {
-		h.min = o.min
+	h.total.Add(o.total.Load())
+	h.sum.Add(o.sum.Load())
+	if om := o.min.Load(); om < h.min.Load() {
+		for {
+			old := h.min.Load()
+			if om >= old || h.min.CompareAndSwap(old, om) {
+				break
+			}
+		}
 	}
-	if o.max > h.max {
-		h.max = o.max
+	if om := o.max.Load(); om > h.max.Load() {
+		for {
+			old := h.max.Load()
+			if om <= old || h.max.CompareAndSwap(old, om) {
+				break
+			}
+		}
 	}
+}
+
+// Snapshot returns a private copy of the histogram, safe to query while the
+// original keeps absorbing Records — the mid-traffic progress reports of the
+// client benchmark read tails this way. The copy's total is derived from the
+// copied buckets, so its percentile walk is always self-consistent even when
+// Records raced the copy.
+func (h *Histogram) Snapshot() *Histogram {
+	s := NewHistogram()
+	var total uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c > 0 {
+			s.counts[i].Store(c)
+			total += c
+		}
+	}
+	s.total.Store(total)
+	s.sum.Store(h.sum.Load())
+	s.min.Store(h.min.Load())
+	s.max.Store(h.max.Load())
+	return s
 }
 
 // Count returns the number of recorded samples.
-func (h *Histogram) Count() uint64 { return h.total }
+func (h *Histogram) Count() uint64 { return h.total.Load() }
 
 // Mean returns the mean of recorded samples, or 0 if empty.
 func (h *Histogram) Mean() time.Duration {
-	if h.total == 0 {
+	total := h.total.Load()
+	if total == 0 {
 		return 0
 	}
-	return time.Duration(h.sum / float64(h.total))
+	return time.Duration(float64(h.sum.Load()) / float64(total))
 }
 
 // Min returns the smallest recorded sample, or 0 if empty.
 func (h *Histogram) Min() time.Duration {
-	if h.total == 0 {
+	if h.total.Load() == 0 {
 		return 0
 	}
-	return time.Duration(h.min)
+	return time.Duration(h.min.Load())
 }
 
 // Max returns the largest recorded sample, or 0 if empty.
 func (h *Histogram) Max() time.Duration {
-	if h.total == 0 {
+	if h.total.Load() == 0 {
 		return 0
 	}
-	return time.Duration(h.max)
+	return time.Duration(h.max.Load())
 }
 
 // Percentile returns the value at quantile p in [0,100], e.g. 50 for the
 // median and 99 for the tail the paper reports. Returns 0 if empty.
 func (h *Histogram) Percentile(p float64) time.Duration {
-	if h.total == 0 {
+	total := h.total.Load()
+	if total == 0 {
 		return 0
 	}
 	if p < 0 {
@@ -148,25 +200,26 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	if p > 100 {
 		p = 100
 	}
-	rank := uint64(math.Ceil(p / 100 * float64(h.total)))
+	rank := uint64(math.Ceil(p / 100 * float64(total)))
 	if rank == 0 {
 		rank = 1
 	}
+	min, max := h.min.Load(), h.max.Load()
 	var seen uint64
-	for i, c := range h.counts {
-		seen += c
+	for i := range h.counts {
+		seen += h.counts[i].Load()
 		if seen >= rank {
 			v := bucketLow(i)
-			if v < h.min {
-				v = h.min
+			if v < min {
+				v = min
 			}
-			if v > h.max {
-				v = h.max
+			if v > max {
+				v = max
 			}
 			return time.Duration(v)
 		}
 	}
-	return time.Duration(h.max)
+	return time.Duration(max)
 }
 
 // Median is Percentile(50).
@@ -175,9 +228,15 @@ func (h *Histogram) Median() time.Duration { return h.Percentile(50) }
 // P99 is Percentile(99).
 func (h *Histogram) P99() time.Duration { return h.Percentile(99) }
 
+// P999 is Percentile(99.9) — the far tail the serving-layer benchmark
+// reports: at thousands of sessions a once-per-thousand-requests stall is a
+// per-second event, and the paper's headline is precisely that Hermes keeps
+// this tail flat (§6.3).
+func (h *Histogram) P999() time.Duration { return h.Percentile(99.9) }
+
 // String summarizes the distribution for logs and tables.
 func (h *Histogram) String() string {
-	return fmt.Sprintf("n=%d p50=%v p99=%v max=%v", h.total, h.Median(), h.P99(), h.Max())
+	return fmt.Sprintf("n=%d p50=%v p99=%v max=%v", h.Count(), h.Median(), h.P99(), h.Max())
 }
 
 // Series accumulates event counts into fixed-width time buckets, producing a

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -238,4 +239,112 @@ func TestFormatFloat(t *testing.T) {
 			t.Fatalf("formatFloat(%v)=%q want %q", in, got, want)
 		}
 	}
+}
+
+// P999 must sit between P99 and Max on a distribution with a distinct far
+// tail, and the percentile edges (0, 100, out-of-range) must clamp.
+func TestHistogramP999AndPercentileEdges(t *testing.T) {
+	h := NewHistogram()
+	// 10k samples at 1ms, 90 at 10ms, 10 at 100ms: p99 ~1ms, p99.9 ~10ms.
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Millisecond)
+	}
+	for i := 0; i < 90; i++ {
+		h.Record(10 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(100 * time.Millisecond)
+	}
+	if p := h.P99(); p < 900*time.Microsecond || p > 2*time.Millisecond {
+		t.Fatalf("p99=%v, want ~1ms", p)
+	}
+	if p := h.P999(); p < 9*time.Millisecond || p > 12*time.Millisecond {
+		t.Fatalf("p999=%v, want ~10ms", p)
+	}
+	if h.P999() < h.P99() {
+		t.Fatalf("p999=%v < p99=%v", h.P999(), h.P99())
+	}
+	// Edges: p<=0 clamps to the first sample, p>=100 to the max.
+	if got := h.Percentile(-5); got != h.Min() {
+		t.Fatalf("p(-5)=%v, want min=%v", got, h.Min())
+	}
+	if got := h.Percentile(0); got != h.Min() {
+		t.Fatalf("p0=%v, want min=%v", got, h.Min())
+	}
+	// p>=100 lands in the max sample's bucket (low bound, <=3.1% below max)
+	// and never exceeds max.
+	if got := h.Percentile(100); got > h.Max() || got < 96*time.Millisecond {
+		t.Fatalf("p100=%v, want within bucket error of max=%v", got, h.Max())
+	}
+	if got := h.Percentile(400); got != h.Percentile(100) {
+		t.Fatalf("p(400)=%v, want clamped to p100=%v", got, h.Percentile(100))
+	}
+	// Empty histogram: every percentile is 0, including the new tail.
+	if e := NewHistogram(); e.P999() != 0 || e.Percentile(100) != 0 {
+		t.Fatal("empty histogram percentiles must be 0")
+	}
+}
+
+// A single sample is every percentile.
+func TestHistogramP999SingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Record(42 * time.Microsecond)
+	for _, p := range []float64{0, 50, 99, 99.9, 100} {
+		if got := h.Percentile(p); got != 42*time.Microsecond {
+			t.Fatalf("p%v=%v, want 42µs", p, got)
+		}
+	}
+}
+
+// Concurrent Record and Snapshot/Percentile must be race-free (run under
+// -race in CI) and every snapshot self-consistent: its total equals the sum
+// of its buckets, and its percentiles never exceed its max.
+func TestHistogramConcurrentRecordSnapshot(t *testing.T) {
+	h := NewHistogram()
+	const writers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := time.Duration(w+1) * time.Millisecond
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Record(d + time.Duration(i%100)*time.Microsecond)
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(100 * time.Millisecond)
+	var last uint64
+	for time.Now().Before(deadline) {
+		s := h.Snapshot()
+		var sum uint64
+		for i := range s.counts {
+			sum += s.counts[i].Load()
+		}
+		if sum != s.Count() {
+			t.Fatalf("snapshot total %d != bucket sum %d", s.Count(), sum)
+		}
+		if s.Count() < last {
+			t.Fatalf("snapshot count went backwards: %d -> %d", last, s.Count())
+		}
+		last = s.Count()
+		if c := s.Count(); c > 0 {
+			if s.P999() > s.Max() || s.Median() < s.Min() {
+				t.Fatalf("inconsistent snapshot: min=%v p50=%v p999=%v max=%v",
+					s.Min(), s.Median(), s.P999(), s.Max())
+			}
+		}
+		// Queries on the live histogram race Records by design; they must
+		// still be data-race free and return sane values.
+		_ = h.Percentile(99.9)
+		_ = h.Mean()
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -1,0 +1,245 @@
+package wings
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// The client codecs are the repo's most exposed surface: tClientReq/tClientResp
+// frames arrive from arbitrary TCP peers, not trusted replicas, so every
+// hostile-input property the mesh codecs enforce must hold here too. This
+// suite mirrors mupdate_test.go/viewlog_test.go: round trips, hostile
+// lengths, truncations, out-of-range enums, nesting rejection, bit flips.
+
+func TestClientReqRoundTrips(t *testing.T) {
+	msgs := []proto.ClientReq{
+		{Seq: 1, Op: proto.OpRead, Key: 42},
+		{Seq: ^uint64(0), Op: proto.OpWrite, Key: ^proto.Key(0), Value: proto.Value("v")},
+		{Seq: 7, Op: proto.OpCAS, Key: 9,
+			Value: proto.Value("new"), Expected: proto.Value("old")},
+		{Seq: 8, Op: proto.OpFAA, Key: 3, Value: proto.EncodeInt64(-5)},
+		// Empty and nil values round-trip as nil (the zero shape).
+		{Seq: 0, Op: proto.OpWrite, Key: 0},
+		// Large-ish payloads survive verbatim.
+		{Seq: 2, Op: proto.OpWrite, Key: 5, Value: make(proto.Value, 4096)},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, m)
+		}
+	}
+}
+
+func TestClientRespRoundTrips(t *testing.T) {
+	msgs := []proto.ClientResp{
+		{Seq: 1, Status: proto.OK, Value: proto.Value("hello")},
+		{Seq: 2, Status: proto.Aborted},
+		{Seq: 3, Status: proto.CASFailed, Value: proto.Value("observed")},
+		{Seq: ^uint64(0), Status: proto.NotOperational},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, m)
+		}
+	}
+}
+
+// Out-of-range op and status codes must be refused in BOTH directions: the
+// encoder never produces them and the decoder treats them as a corrupt or
+// hostile stream (ErrBadEnum), never as values to hand to dispatch.
+func TestClientEnumRangeEnforced(t *testing.T) {
+	if _, err := Encode(proto.ClientReq{Op: proto.OpFAA + 1}); !errors.Is(err, ErrBadEnum) {
+		t.Fatalf("encoder accepted op %d: %v", proto.OpFAA+1, err)
+	}
+	if _, err := Encode(proto.ClientResp{Status: proto.NotOperational + 1}); !errors.Is(err, ErrBadEnum) {
+		t.Fatalf("encoder accepted status %d: %v", proto.NotOperational+1, err)
+	}
+	// Hand-build bodies with hostile enum bytes.
+	req := clientReqBody(1, 0xEE, 42, []byte("v"), nil)
+	if _, err := decodeMsg(tClientReq, req); !errors.Is(err, ErrBadEnum) {
+		t.Fatalf("decoder accepted op 0xEE: %v", err)
+	}
+	resp := clientRespBody(1, 0xEE, nil)
+	if _, err := decodeMsg(tClientResp, resp); !errors.Is(err, ErrBadEnum) {
+		t.Fatalf("decoder accepted status 0xEE: %v", err)
+	}
+}
+
+// clientReqBody hand-builds a tClientReq payload with arbitrary bytes.
+func clientReqBody(seq uint64, op byte, key uint64, value, expected []byte) []byte {
+	b := binary.LittleEndian.AppendUint64(nil, seq)
+	b = append(b, op)
+	b = binary.LittleEndian.AppendUint64(b, key)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(value)))
+	b = append(b, value...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(expected)))
+	return append(b, expected...)
+}
+
+// clientRespBody hand-builds a tClientResp payload.
+func clientRespBody(seq uint64, status byte, value []byte) []byte {
+	b := binary.LittleEndian.AppendUint64(nil, seq)
+	b = append(b, status)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(value)))
+	return append(b, value...)
+}
+
+// Hostile lengths: a value length claiming more bytes than the body holds
+// must fail before any allocation sized by the lie.
+func TestClientHostileLengths(t *testing.T) {
+	lyingReq := clientReqBody(1, byte(proto.OpWrite), 42, []byte("v"), nil)
+	// Patch the value length (offset 17) to claim 16MB.
+	binary.LittleEndian.PutUint32(lyingReq[17:], 16<<20)
+	if _, err := decodeMsg(tClientReq, lyingReq); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("lying req value length: err=%v, want unexpected EOF", err)
+	}
+	lyingResp := clientRespBody(1, byte(proto.OK), []byte("v"))
+	binary.LittleEndian.PutUint32(lyingResp[9:], 0xFFFFFFF0)
+	if _, err := decodeMsg(tClientResp, lyingResp); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("lying resp value length: err=%v, want unexpected EOF", err)
+	}
+}
+
+// Truncations at every byte boundary must fail cleanly, never panic.
+func TestClientTruncatedPayloads(t *testing.T) {
+	req := clientReqBody(9, byte(proto.OpCAS), 7, []byte("value"), []byte("expected"))
+	for i := 0; i < len(req); i++ {
+		if _, err := decodeMsg(tClientReq, req[:i]); err == nil {
+			t.Fatalf("req truncated to %d bytes decoded", i)
+		}
+	}
+	resp := clientRespBody(9, byte(proto.CASFailed), []byte("observed"))
+	for i := 0; i < len(resp); i++ {
+		if _, err := decodeMsg(tClientResp, resp[:i]); err == nil {
+			t.Fatalf("resp truncated to %d bytes decoded", i)
+		}
+	}
+}
+
+// Client messages ride client sessions only — a shard envelope around one is
+// always hostile, in both the encoder and the decoder, standalone and inside
+// a coalesced tShardBatch.
+func TestClientNeverNestsInShardEnvelopes(t *testing.T) {
+	req := proto.ClientReq{Seq: 1, Op: proto.OpRead, Key: 4}
+	resp := proto.ClientResp{Seq: 1, Status: proto.OK}
+	for _, inner := range []any{req, resp} {
+		if _, err := Encode(proto.ShardMsg{Shard: 1, Msg: inner}); err == nil {
+			t.Fatalf("encoder accepted %T inside ShardMsg", inner)
+		}
+		if _, err := Encode(proto.ShardBatch{Msgs: []proto.ShardMsg{{Shard: 1, Msg: inner}}}); err == nil {
+			t.Fatalf("encoder accepted %T inside ShardBatch", inner)
+		}
+	}
+	// Craft the hostile bytes: [2B shard][1B type][4B len][payload] for
+	// tShard, and the batch shape for tShardBatch.
+	for _, tc := range []struct {
+		typ  uint8
+		body []byte
+	}{
+		{tClientReq, clientReqBody(1, byte(proto.OpRead), 4, nil, nil)},
+		{tClientResp, clientRespBody(1, byte(proto.OK), nil)},
+	} {
+		tagged := binary.LittleEndian.AppendUint16(nil, 1)
+		tagged = append(tagged, tc.typ)
+		tagged = binary.LittleEndian.AppendUint32(tagged, uint32(len(tc.body)))
+		tagged = append(tagged, tc.body...)
+		if _, err := decodeMsg(tShard, tagged); !errors.Is(err, ErrUnknownType) {
+			t.Fatalf("shard-tagged type %d: err=%v, want ErrUnknownType", tc.typ, err)
+		}
+		batch := binary.LittleEndian.AppendUint16(nil, 1) // batch count
+		batch = append(batch, tagged...)
+		if _, err := decodeMsg(tShardBatch, batch); !errors.Is(err, ErrUnknownType) {
+			t.Fatalf("batched type %d: err=%v, want ErrUnknownType", tc.typ, err)
+		}
+	}
+}
+
+// Random bytes and bit-flipped valid frames must never panic.
+func TestClientDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1717))
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, rng.Intn(80))
+		rng.Read(buf)
+		_, _ = decodeMsg(tClientReq, buf)
+		_, _ = decodeMsg(tClientResp, buf)
+	}
+	validReq, err := Encode(proto.ClientReq{Seq: 3, Op: proto.OpCAS, Key: 11,
+		Value: proto.Value("abcdefgh"), Expected: proto.Value("12345678")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validResp, err := Encode(proto.ClientResp{Seq: 3, Status: proto.CASFailed,
+		Value: proto.Value("observed")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, valid := range [][]byte{validReq, validResp} {
+		for i := 0; i < 3000; i++ {
+			f := append([]byte(nil), valid...)
+			f[rng.Intn(len(f))] ^= 1 << uint(rng.Intn(8))
+			_, _ = DecodeOne(f)
+		}
+	}
+}
+
+// A ServeFrames stream containing a tCredit entry is a protocol violation
+// on a client session (admission is session-level, not link-level).
+func TestServeFramesRejectsCredit(t *testing.T) {
+	// [4B frame len][2B count][1B tCredit][4B len=2][2B grant]
+	frame := binary.LittleEndian.AppendUint32(nil, 2+7)
+	frame = binary.LittleEndian.AppendUint16(frame, 1)
+	frame = append(frame, tCredit)
+	frame = binary.LittleEndian.AppendUint32(frame, 2)
+	frame = binary.LittleEndian.AppendUint16(frame, 8)
+	err := ServeFrames(bytesReader(frame), func(any) error { return nil })
+	if !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("tCredit on client session: err=%v, want ErrUnknownType", err)
+	}
+}
+
+// ServeFrames round-trips an AppendFrame batch and dispatches in order.
+func TestAppendFrameServeFramesRoundTrip(t *testing.T) {
+	reqs := make([]any, 100)
+	for i := range reqs {
+		reqs[i] = proto.ClientReq{Seq: uint64(i), Op: proto.OpWrite,
+			Key: proto.Key(i), Value: proto.EncodeInt64(int64(i))}
+	}
+	frame, err := AppendFrame(nil, reqs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []any
+	err = ServeFrames(bytesReader(frame), func(m any) error {
+		got = append(got, m)
+		return nil
+	})
+	if err != io.EOF {
+		t.Fatalf("serve: %v", err)
+	}
+	if !reflect.DeepEqual(got, reqs) {
+		t.Fatalf("dispatched %d msgs, mismatch (got[0]=%+v)", len(got), got[0])
+	}
+}
+
+// bytesReader is a minimal io.Reader over a byte slice (avoids importing
+// bytes just for tests).
+func bytesReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}

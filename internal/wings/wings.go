@@ -67,13 +67,43 @@ const (
 	// validated against the bytes present before any allocation, the
 	// tShardBatch discipline. Never nests inside a shard envelope.
 	tViewLogResp
+	// tClientReq is one pipelined client request (proto.ClientReq):
+	// [8B seq][1B op][8B key][4B len][value][4B len][expected]. Client↔server
+	// traffic only: it never rides the replica mesh, so a shard envelope
+	// around it is always hostile. Out-of-range op codes are rejected at
+	// decode — the server must never see an op kind it cannot dispatch.
+	tClientReq
+	// tClientResp answers a tClientReq (proto.ClientResp):
+	// [8B seq][1B status][4B len][value]. Same nesting and range discipline
+	// as tClientReq (a status outside the protocol's enum is a corrupt or
+	// hostile stream, not a value to hand to retry logic).
+	tClientResp
 )
 
 // maxFrame bounds a frame's size (defense against corrupt streams).
 const maxFrame = 16 << 20
 
+// ClientMagic opens a client session: the connecting client writes these 4
+// bytes, and the server answers with the same 4 bytes followed by a 4-byte
+// little-endian pipelining window — the number of requests the client may
+// keep in flight on the connection (its send-credit budget). Both the wire
+// server (internal/server) and the session client (internal/client) speak
+// this handshake; a connection that opens with anything else is not a client
+// session and is closed before any frame is parsed.
+var ClientMagic = [4]byte{'h', 'C', 'L', '1'}
+
+// MaxFrameMsgs is the most messages one frame can carry (AppendFrame rejects
+// larger batches); exported so batching callers can split at the same bound
+// the codec enforces.
+const MaxFrameMsgs = maxFrameMsgs
+
 // ErrUnknownType reports an unregistered message type on the wire.
 var ErrUnknownType = errors.New("wings: unknown message type")
+
+// ErrBadEnum reports a client-protocol op or status code outside the
+// protocol's enum — a corrupt or hostile stream, never produced by a
+// conforming encoder.
+var ErrBadEnum = errors.New("wings: enum value out of range")
 
 // appendMsg encodes one protocol message.
 func appendMsg(buf []byte, msg any) ([]byte, error) {
@@ -159,6 +189,24 @@ func appendMsg(buf []byte, msg any) ([]byte, error) {
 		t = tViewLogReq
 		buf = binary.LittleEndian.AppendUint16(buf, m.Shard)
 		buf = binary.LittleEndian.AppendUint32(buf, m.Since)
+	case proto.ClientReq:
+		t = tClientReq
+		if m.Op > proto.OpFAA {
+			return nil, ErrBadEnum
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+		buf = append(buf, byte(m.Op))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Key))
+		buf = appendBytes(buf, m.Value)
+		buf = appendBytes(buf, m.Expected)
+	case proto.ClientResp:
+		t = tClientResp
+		if m.Status > proto.NotOperational {
+			return nil, ErrBadEnum
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+		buf = append(buf, byte(m.Status))
+		buf = appendBytes(buf, m.Value)
 	case proto.ViewLogResp:
 		t = tViewLogResp
 		if len(m.Updates) > 0xFFFF {
@@ -181,13 +229,15 @@ func appendMsg(buf []byte, msg any) ([]byte, error) {
 }
 
 // nestedEnvelope reports whether msg must not nest inside a shard envelope:
-// the envelopes themselves (the encoders wrap exactly one level) and the
+// the envelopes themselves (the encoders wrap exactly one level), the
 // node-level membership traffic — MUpdate (its shard field IS the routing
 // tag) and the view-log pair (host-level fast-forward, never shard-engine
-// traffic).
+// traffic) — and the client session pair, which never touches the replica
+// mesh at all.
 func nestedEnvelope(msg any) bool {
 	switch msg.(type) {
-	case proto.ShardMsg, proto.ShardBatch, proto.MUpdate, proto.ViewLogReq, proto.ViewLogResp:
+	case proto.ShardMsg, proto.ShardBatch, proto.MUpdate, proto.ViewLogReq, proto.ViewLogResp,
+		proto.ClientReq, proto.ClientResp:
 		return true
 	}
 	return false
@@ -279,6 +329,16 @@ func (r *reader) u64() uint64 {
 	return v
 }
 
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
 func (r *reader) boolv() bool {
 	if r.err != nil || r.off+1 > len(r.b) {
 		r.err = io.ErrUnexpectedEOF
@@ -366,6 +426,22 @@ func decodeMsg(t uint8, body []byte) (any, error) {
 		msg = readMUpdateBody(r)
 	case tViewLogReq:
 		msg = proto.ViewLogReq{Shard: r.u16(), Since: r.u32()}
+	case tClientReq:
+		m := proto.ClientReq{Seq: r.u64(), Op: proto.OpKind(r.u8())}
+		m.Key = proto.Key(r.u64())
+		m.Value = r.bytes()
+		m.Expected = r.bytes()
+		if r.err == nil && m.Op > proto.OpFAA {
+			return nil, ErrBadEnum
+		}
+		msg = m
+	case tClientResp:
+		m := proto.ClientResp{Seq: r.u64(), Status: proto.Status(r.u8())}
+		m.Value = r.bytes()
+		if r.err == nil && m.Status > proto.NotOperational {
+			return nil, ErrBadEnum
+		}
+		msg = m
 	case tViewLogResp:
 		count := int(r.u16())
 		if r.err != nil {
@@ -437,9 +513,10 @@ func decodeTagged(r *reader) (proto.ShardMsg, error) {
 	// The encoders wrap exactly one level; a nested envelope only occurs in
 	// a corrupt or hostile stream, and recursing on it unboundedly would let
 	// a 16 MB frame blow the stack. MUpdate and the view-log pair are
-	// node-level routing: shard-tagged ones are equally hostile.
+	// node-level routing, and the client session pair never rides the mesh:
+	// shard-tagged ones are equally hostile.
 	if it == tShard || it == tShardBatch || it == tCredit || it == tMUpdate ||
-		it == tViewLogReq || it == tViewLogResp {
+		it == tViewLogReq || it == tViewLogResp || it == tClientReq || it == tClientResp {
 		return proto.ShardMsg{}, ErrUnknownType
 	}
 	n := int(binary.LittleEndian.Uint32(r.b[r.off+1:]))
@@ -887,6 +964,92 @@ func (l *Link) bumpStat(fn func(*Stats)) {
 func Broadcast(links []*Link, msg any) error {
 	for _, l := range links {
 		if err := l.Send(msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendFrame appends one wire frame carrying msgs to buf and returns the
+// extended buffer. This is the batch encoder of the client serving layer's
+// per-session response coalescer: responses that accumulated while a flush
+// was in flight ship as one frame — one syscall, one header — exactly like
+// the link flusher's opportunistic batching. At most maxFrameMsgs messages
+// fit one frame (the header's count is 16-bit); callers split larger batches.
+func AppendFrame(buf []byte, msgs ...any) ([]byte, error) {
+	if len(msgs) == 0 || len(msgs) > maxFrameMsgs {
+		return nil, fmt.Errorf("wings: frame of %d messages", len(msgs))
+	}
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0) // length + count placeholder
+	for _, m := range msgs {
+		var err error
+		buf, err = appendMsg(buf, m)
+		if err != nil {
+			return nil, err
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	binary.LittleEndian.PutUint16(buf[start+4:], uint16(len(msgs)))
+	return buf, nil
+}
+
+// ServeFrames reads frames from rd and dispatches each decoded message to fn
+// until read error, EOF, decode failure, or fn returning a non-nil error
+// (which aborts the stream and is returned). It is Link.Serve without a
+// link: no flow-control accounting, no credit frames — the client serving
+// layer does admission at the session layer, and a tCredit entry from a
+// client is meaningless, so it is rejected like any other protocol
+// violation. The same hostile-input discipline as Link.Serve applies: frame
+// lengths are bounded, per-message lengths validated against the frame, and
+// decoded payloads are copied out so the pooled frame buffer never escapes.
+func ServeFrames(rd io.Reader, fn func(msg any) error) error {
+	br := bufio.NewReaderSize(rd, 64<<10)
+	for {
+		if err := serveRawFrame(br, fn); err != nil {
+			return err
+		}
+	}
+}
+
+// serveRawFrame reads and dispatches one frame for ServeFrames, holding a
+// pooled buffer for exactly its duration.
+func serveRawFrame(br *bufio.Reader, fn func(msg any) error) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n < 2 || n > maxFrame {
+		return fmt.Errorf("wings: bad frame length %d", n)
+	}
+	bufp := framePool.Get().(*[]byte)
+	defer framePool.Put(bufp)
+	if cap(*bufp) < n {
+		*bufp = make([]byte, n)
+	}
+	frame := (*bufp)[:n]
+	if _, err := io.ReadFull(br, frame); err != nil {
+		return err
+	}
+	count := int(binary.LittleEndian.Uint16(frame[:2]))
+	off := 2
+	for i := 0; i < count; i++ {
+		if off+5 > len(frame) {
+			return io.ErrUnexpectedEOF
+		}
+		t := frame[off]
+		bodyLen := int(binary.LittleEndian.Uint32(frame[off+1:]))
+		off += 5
+		if bodyLen < 0 || off+bodyLen > len(frame) {
+			return io.ErrUnexpectedEOF
+		}
+		msg, err := decodeMsg(t, frame[off:off+bodyLen])
+		if err != nil {
+			return err
+		}
+		off += bodyLen
+		if err := fn(msg); err != nil {
 			return err
 		}
 	}

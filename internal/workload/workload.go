@@ -104,9 +104,14 @@ type Config struct {
 	Keys       uint64  // keyspace size (paper: 1M)
 	WriteRatio float64 // fraction of update ops in [0,1]
 	RMWRatio   float64 // fraction of updates issued as RMWs (0 for Fig 5-9)
-	ValueSize  int     // object size in bytes (paper default 32)
-	Zipf       bool    // zipfian vs uniform
-	ZipfTheta  float64 // exponent (0.99 when Zipf)
+	// CASRatio is the fraction of RMWs issued as CAS instead of FAA. The
+	// comparand is a random value, so most wire CASes report CASFailed —
+	// which exercises the full INV round regardless, making the mix useful
+	// for latency measurement even though it rarely swaps.
+	CASRatio  float64
+	ValueSize int     // object size in bytes (paper default 32)
+	Zipf      bool    // zipfian vs uniform
+	ZipfTheta float64 // exponent (0.99 when Zipf)
 }
 
 // DefaultConfig mirrors the paper's testbed defaults (§5.2).
@@ -130,19 +135,33 @@ func NewGenerator(cfg Config, seed int64) *Generator {
 	if cfg.Keys == 0 {
 		cfg.Keys = 1 << 20
 	}
-	if cfg.ValueSize <= 0 {
-		cfg.ValueSize = 32
-	}
-	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	var keys KeyChooser
 	if cfg.Zipf {
 		theta := cfg.ZipfTheta
 		if theta == 0 {
 			theta = 0.99
 		}
-		g.keys = NewZipfian(cfg.Keys, theta, true)
+		keys = NewZipfian(cfg.Keys, theta, true)
 	} else {
-		g.keys = Uniform{N: cfg.Keys}
+		keys = Uniform{N: cfg.Keys}
 	}
+	return NewGeneratorWith(cfg, keys, seed)
+}
+
+// NewGeneratorWith builds a Generator that draws keys from the given chooser
+// instead of constructing its own. NewZipfian computes an O(Keys) harmonic
+// sum; sharing one chooser across the sessions of a benchmark turns that
+// from per-session into per-run work. The chooser must be safe for
+// concurrent use with distinct rngs (Uniform and Zipfian both are: they are
+// immutable after construction, all per-draw state lives in the rng).
+func NewGeneratorWith(cfg Config, keys KeyChooser, seed int64) *Generator {
+	if cfg.Keys == 0 {
+		cfg.Keys = 1 << 20
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 32
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(seed)), keys: keys}
 	g.valBuf = make([]byte, cfg.ValueSize)
 	return g
 }
@@ -158,6 +177,12 @@ func (g *Generator) Next() proto.ClientOp {
 		return op
 	}
 	if g.cfg.RMWRatio > 0 && g.rng.Float64() < g.cfg.RMWRatio {
+		if g.cfg.CASRatio > 0 && g.rng.Float64() < g.cfg.CASRatio {
+			op.Kind = proto.OpCAS
+			op.Expected = g.value()
+			op.Value = g.value()
+			return op
+		}
 		op.Kind = proto.OpFAA
 		op.Value = FAADelta(1)
 		return op
