@@ -1,0 +1,69 @@
+// Command hermes-vet runs the repo's protocol-invariant analyzers (see
+// internal/analysis) over the packages matching the given patterns and exits
+// non-zero if any finding survives its //hermesvet:ignore directives.
+//
+// Usage:
+//
+//	hermes-vet [-list] [packages...]
+//
+// Patterns default to ./... and are resolved by `go list` relative to the
+// current directory, so `go run ./cmd/hermes-vet ./...` from the repo root
+// checks the whole tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hermes-vet [-list] [packages...]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hermes-vet:", err)
+		os.Exit(2)
+	}
+	n, err := vet(dir, flag.Args(), os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hermes-vet:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "hermes-vet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// vet loads the packages and prints each diagnostic, returning the count.
+func vet(dir string, patterns []string, out io.Writer) (int, error) {
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.RunAnalyzers(pkg, analysis.All()) {
+			fmt.Fprintln(out, d)
+			total++
+		}
+	}
+	return total, nil
+}

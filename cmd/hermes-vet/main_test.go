@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The repo itself must vet clean — this is the same gate CI applies, kept
+// here so `go test ./...` catches a regression before the CI step does.
+func TestRepoVetsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repo")
+	}
+	var out strings.Builder
+	n, err := vet("../..", []string{"./..."}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("hermes-vet found %d finding(s) on the repo:\n%s", n, out.String())
+	}
+}
+
+// The golden red cases must be visible through the CLI path too, not just
+// the analysistest harness.
+func TestGoldenTreeHasFindings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the golden module")
+	}
+	var out strings.Builder
+	n, err := vet("../../internal/analysis/testdata", []string{"./..."}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("expected findings in the golden tree, got none")
+	}
+	for _, analyzer := range []string{"eventloop", "atomicfield", "wingscodec", "exhaustive", "determinism"} {
+		if !strings.Contains(out.String(), "["+analyzer+"]") {
+			t.Errorf("no %s finding surfaced through the CLI:\n%s", analyzer, out.String())
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package analysis is hermes-vet: a suite of static analyzers that turn the
+// repository's protocol invariants — conventions that previously lived only
+// in comments and were enforced only by after-the-fact tests — into
+// build-breaking checks. The five analyzers are:
+//
+//   - eventloop: code reachable from protocol message handlers and the live
+//     runtime's event-loop callbacks must never block (PR 6's "only enqueue"
+//     contract).
+//   - atomicfield: a struct field accessed through sync/atomic in one place
+//     must never be accessed plainly in another.
+//   - wingscodec: wire decoders must bound-check wire-declared counts before
+//     allocating, and every wire type needs a registered fuzz target.
+//   - exhaustive: switches over protocol enums and terminal type-switches
+//     over protocol messages must cover every variant or carry an explicit
+//     failing default.
+//   - determinism: the seeded-replay packages (internal/sim, internal/core)
+//     must not consult wall clocks, global randomness, or unordered map
+//     iteration for decisions that feed the network schedule (the PR 4
+//     map-order retransmission bug).
+//
+// The suite is deliberately built on the standard library only (go/ast,
+// go/types, `go list -export`): the container that grows this repo has no
+// module proxy access, so golang.org/x/tools is off the table. The Analyzer,
+// Pass and Diagnostic types below mirror the x/tools go/analysis shapes
+// closely enough that the analyzers could be ported to real go/analysis
+// drivers by swapping the harness.
+//
+// A finding is suppressed by an escape-hatch comment on the same line or the
+// line above:
+//
+//	//hermesvet:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// The justification is mandatory; a directive without one is itself a
+// diagnostic. `all` matches every analyzer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects the package and reports findings via pass.Report*.
+	Run func(pass *Pass)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one package's syntax and type information through one
+// analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's compiled (non-test) syntax trees.
+	Files []*ast.File
+	// TestFiles are the package's in-package _test.go files, parsed but NOT
+	// type-checked; wingscodec reads them to verify fuzz-target registration.
+	TestFiles []*ast.File
+	Pkg       *types.Package
+	Info      *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreDirective is one parsed //hermesvet:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers []string // names, or ["all"]
+	reason    string
+	malformed string // non-empty: why the directive is unusable
+	used      bool
+}
+
+func (d *ignoreDirective) matches(analyzer string) bool {
+	if d.malformed != "" {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == "all" || a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+const directivePrefix = "//hermesvet:ignore"
+
+// parseDirectives collects every hermesvet:ignore directive in the files.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := &ignoreDirective{file: pos.Filename, line: pos.Line}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// e.g. //hermesvet:ignoreXXX — not ours.
+					continue
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.malformed = "missing analyzer name and justification"
+				case len(fields) == 1:
+					d.malformed = "missing justification (a reason is mandatory)"
+				default:
+					d.analyzers = strings.Split(fields[0], ",")
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// filterIgnored drops diagnostics suppressed by a directive on the same line
+// or the line immediately above, marking the directives used.
+func filterIgnored(diags []Diagnostic, dirs []*ignoreDirective) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	byLine := map[string]map[int][]*ignoreDirective{}
+	for _, d := range dirs {
+		if byLine[d.file] == nil {
+			byLine[d.file] = map[int][]*ignoreDirective{}
+		}
+		byLine[d.file][d.line] = append(byLine[d.file][d.line], d)
+	}
+	var kept []Diagnostic
+	for _, dg := range diags {
+		suppressed := false
+		for _, line := range []int{dg.Pos.Line, dg.Pos.Line - 1} {
+			for _, d := range byLine[dg.Pos.Filename][line] {
+				if d.matches(dg.Analyzer) {
+					d.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, dg)
+		}
+	}
+	return kept
+}
+
+// directiveDiagnostics reports malformed directives (once per package, not
+// per analyzer) under the pseudo-analyzer name "hermesvet".
+func directiveDiagnostics(dirs []*ignoreDirective) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range dirs {
+		if d.malformed != "" {
+			out = append(out, Diagnostic{
+				Analyzer: "hermesvet",
+				Pos:      token.Position{Filename: d.file, Line: d.line, Column: 1},
+				Message:  "malformed ignore directive: " + d.malformed,
+			})
+		}
+	}
+	return out
+}
+
+// RunAnalyzers executes the analyzers over one loaded package and returns
+// the surviving (non-ignored) diagnostics in file/line order.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	dirs := parseDirectives(pkg.Fset, append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...))
+	var all []Diagnostic
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			TestFiles: pkg.TestFiles,
+			Pkg:       pkg.Types,
+			Info:      pkg.Info,
+			diags:     &diags,
+		}
+		a.Run(pass)
+		all = append(all, diags...)
+	}
+	all = filterIgnored(all, dirs)
+	all = append(all, directiveDiagnostics(dirs)...)
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return all
+}
+
+// All returns the full hermes-vet suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		EventLoopAnalyzer,
+		AtomicFieldAnalyzer,
+		WingsCodecAnalyzer,
+		ExhaustiveAnalyzer,
+		DeterminismAnalyzer,
+	}
+}

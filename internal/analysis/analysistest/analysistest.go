@@ -1,0 +1,102 @@
+// Package analysistest runs hermes-vet analyzers over golden packages and
+// checks their diagnostics against `// want "regex"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest (which the offline build
+// cannot vendor). A want comment expects, on its own line, at least one
+// diagnostic whose message matches the regex; every diagnostic must be
+// expected and every expectation met, or the test fails.
+package analysistest
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe extracts the quoted regexes from a want comment: double-quoted
+// (Go-unquoted) or backquoted strings after "// want".
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run loads the packages matching patterns under dir, applies the analyzer,
+// and reconciles diagnostics with the want comments in the loaded files.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading %s %v: %v", dir, patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages matched %v under %s", patterns, dir)
+	}
+	for _, pkg := range pkgs {
+		wants := collectWants(t, pkg)
+		diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+		for _, d := range diags {
+			matched := false
+			for _, w := range wants {
+				if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+					w.met = true
+					matched = true
+				}
+			}
+			if !matched {
+				t.Errorf("%s: unexpected diagnostic: [%s] %s", d.Pos, d.Analyzer, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.met {
+				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	files := append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := wantRe.FindAllString(strings.TrimPrefix(text, "want "), -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s:%d: want comment without a quoted regex", pos.Filename, pos.Line)
+				}
+				for _, q := range quoted {
+					var pat string
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regex %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}

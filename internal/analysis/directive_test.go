@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestParseDirectives(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //hermesvet:ignore eventloop justified because the section is bounded
+	_ = 2 //hermesvet:ignore atomicfield,eventloop shared justification for two analyzers
+	_ = 3 //hermesvet:ignore atomicfield
+	_ = 4 //hermesvet:ignore
+	_ = 5 //hermesvet:ignoreXX not a directive at all
+	_ = 6 //hermesvet:ignore all blanket waiver with a reason
+}
+`
+	fset, files := parseSrc(t, src)
+	dirs := parseDirectives(fset, files)
+	if len(dirs) != 5 {
+		t.Fatalf("got %d directives, want 5 (the :ignoreXX comment is not one)", len(dirs))
+	}
+	if !dirs[0].matches("eventloop") || dirs[0].matches("atomicfield") {
+		t.Errorf("directive 0 should match only eventloop: %+v", dirs[0])
+	}
+	if !dirs[1].matches("eventloop") || !dirs[1].matches("atomicfield") || dirs[1].matches("wingscodec") {
+		t.Errorf("directive 1 should match its two analyzers: %+v", dirs[1])
+	}
+	if dirs[2].malformed == "" {
+		t.Error("directive without justification should be malformed")
+	}
+	if dirs[2].matches("atomicfield") {
+		t.Error("malformed directive must not suppress anything")
+	}
+	if dirs[3].malformed == "" {
+		t.Error("bare directive should be malformed")
+	}
+	for _, name := range []string{"eventloop", "determinism", "hermesvet"} {
+		if !dirs[4].matches(name) {
+			t.Errorf("'all' directive should match %s", name)
+		}
+	}
+	if got := len(directiveDiagnostics(dirs)); got != 2 {
+		t.Fatalf("got %d malformed-directive diagnostics, want 2", got)
+	}
+}
+
+func TestFilterIgnored(t *testing.T) {
+	dirs := []*ignoreDirective{
+		{file: "a.go", line: 10, analyzers: []string{"eventloop"}, reason: "r"},
+	}
+	diags := []Diagnostic{
+		{Analyzer: "eventloop", Pos: token.Position{Filename: "a.go", Line: 10}},   // same line: suppressed
+		{Analyzer: "eventloop", Pos: token.Position{Filename: "a.go", Line: 11}},   // directive on line above: suppressed
+		{Analyzer: "determinism", Pos: token.Position{Filename: "a.go", Line: 10}}, // wrong analyzer: kept
+		{Analyzer: "eventloop", Pos: token.Position{Filename: "a.go", Line: 13}},   // out of range: kept
+		{Analyzer: "eventloop", Pos: token.Position{Filename: "b.go", Line: 10}},   // wrong file: kept
+	}
+	kept := filterIgnored(diags, dirs)
+	if len(kept) != 3 {
+		t.Fatalf("kept %d diagnostics, want 3: %v", len(kept), kept)
+	}
+	if !dirs[0].used {
+		t.Error("directive should be marked used")
+	}
+}

@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// EventLoopAnalyzer enforces the event-loop contract of the live runtime:
+// code reachable from a protocol state machine's message handlers — and from
+// the cluster callbacks those handlers invoke on the event-loop goroutine —
+// must never block. One stalled handler stalls every key the shard owns
+// (internal/cluster's architecture comment; SubmitAsync's callback contract).
+//
+// Roots:
+//   - in a package named "core": methods Deliver, Submit, Tick and
+//     OnViewChange on the Hermes state machine (the on* handlers are reached
+//     transitively);
+//   - in a package named "cluster": Send/Complete methods on types whose
+//     name contains "Env" or "Transport" — the proto.Env and Transport
+//     implementations the state machine calls back into from handler code.
+//
+// Blocking operations flagged on any statically reachable same-package path:
+// sync mutex/RWMutex Lock and RLock, WaitGroup/Cond Wait, time.Sleep,
+// net socket Read/Write/Accept, channel sends and receives on channels not
+// provably buffered in the same function, and selects without a default.
+// Goroutine bodies (`go ...`) are exempt — launching is the sanctioned way
+// to move blocking work off the loop.
+var EventLoopAnalyzer = &Analyzer{
+	Name: "eventloop",
+	Doc:  "flags blocking operations reachable from protocol handlers and event-loop callbacks",
+	Run:  runEventLoop,
+}
+
+func runEventLoop(pass *Pass) {
+	if pass.Pkg.Name() != "core" && pass.Pkg.Name() != "cluster" {
+		return
+	}
+	c := &eventLoopChecker{
+		pass:     pass,
+		decls:    declOfFunc(pass),
+		visited:  map[*types.Func]bool{},
+		reported: map[token.Pos]bool{},
+	}
+	for fn, decl := range c.decls {
+		if c.isRoot(fn) {
+			c.visit(fn, decl, nil)
+		}
+	}
+}
+
+type eventLoopChecker struct {
+	pass     *Pass
+	decls    map[*types.Func]*ast.FuncDecl
+	visited  map[*types.Func]bool
+	reported map[token.Pos]bool
+}
+
+var coreHandlerNames = map[string]bool{
+	"Deliver": true, "Submit": true, "Tick": true, "OnViewChange": true,
+}
+
+func (c *eventLoopChecker) isRoot(fn *types.Func) bool {
+	recv := recvTypeName(fn)
+	if recv == "" {
+		return false
+	}
+	switch c.pass.Pkg.Name() {
+	case "core":
+		return recv == "Hermes" && coreHandlerNames[fn.Name()]
+	case "cluster":
+		if fn.Name() != "Send" && fn.Name() != "Complete" {
+			return false
+		}
+		return strings.Contains(recv, "Env") || strings.Contains(recv, "Transport")
+	}
+	return false
+}
+
+func (c *eventLoopChecker) visit(fn *types.Func, decl *ast.FuncDecl, chain []string) {
+	if c.visited[fn] || len(chain) > 20 {
+		return
+	}
+	c.visited[fn] = true
+	chain = append(chain, fn.Name())
+	if decl.Body != nil {
+		c.walk(decl.Body, chain, map[ast.Node]bool{}, decl.Body)
+	}
+}
+
+// walk inspects one function body. exemptComm holds the send/receive
+// expressions that belong to a select-with-default (non-blocking by
+// construction). funcBody is the enclosing body used to trace channel
+// buffering.
+func (c *eventLoopChecker) walk(n ast.Node, chain []string, exemptComm map[ast.Node]bool, funcBody *ast.BlockStmt) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The launched goroutine does not run on the event loop.
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			// Comm clauses are part of the select, not independent blocking
+			// sites: with a default the whole construct is non-blocking, and
+			// without one the select itself is the (single) finding.
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					markCommExempt(cc.Comm, exemptComm)
+				}
+			}
+			if !hasDefault {
+				c.report(n.Pos(), chain, "select without a default case blocks the event loop")
+			}
+			return true
+		case *ast.SendStmt:
+			if !exemptComm[n] && !c.provablyBuffered(n.Chan, funcBody) {
+				c.report(n.Pos(), chain, "channel send may block the event loop (channel not provably buffered here)")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !exemptComm[n] {
+				c.report(n.Pos(), chain, "channel receive may block the event loop")
+			}
+		case *ast.CallExpr:
+			c.checkCall(n, chain, funcBody)
+		}
+		return true
+	})
+}
+
+// markCommExempt records a select comm statement's channel operations.
+func markCommExempt(comm ast.Stmt, exempt map[ast.Node]bool) {
+	switch s := comm.(type) {
+	case *ast.SendStmt:
+		exempt[s] = true
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			exempt[u] = true
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				exempt[u] = true
+			}
+		}
+	}
+}
+
+func (c *eventLoopChecker) checkCall(call *ast.CallExpr, chain []string, funcBody *ast.BlockStmt) {
+	if isConversion(c.pass.Info, call) || isBuiltinCall(c.pass.Info, call, "") {
+		return
+	}
+	// Function literals invoked (or evaluated as arguments) here run on the
+	// event loop right now; ast.Inspect already descends into them.
+	fn := staticCallee(c.pass.Info, call)
+	if fn == nil {
+		return
+	}
+	if msg := blockingStdCall(fn); msg != "" {
+		c.report(call.Pos(), chain, msg)
+		return
+	}
+	// Descend into same-package callees with bodies.
+	if decl, ok := c.decls[fn]; ok {
+		c.visit(fn, decl, chain)
+	}
+}
+
+// blockingStdCall classifies calls into the standard library that block.
+func blockingStdCall(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "sync":
+		switch fn.Name() {
+		case "Lock", "RLock":
+			return "sync." + recvTypeName(fn) + "." + fn.Name() + " may block the event loop"
+		case "Wait":
+			return "sync." + recvTypeName(fn) + ".Wait blocks the event loop"
+		}
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep blocks the event loop"
+		}
+	case "net":
+		switch fn.Name() {
+		case "Read", "Write", "Accept":
+			return "net socket " + fn.Name() + " blocks the event loop"
+		}
+	}
+	return ""
+}
+
+// provablyBuffered reports whether ch is an identifier bound in funcBody by
+// `ch := make(chan T, N)` with constant N > 0 — the one case a send is known
+// not to block the sender arbitrarily (the contract tolerates bounded
+// buffered handoff; an unknown or unbuffered channel it does not).
+func (c *eventLoopChecker) provablyBuffered(ch ast.Expr, funcBody *ast.BlockStmt) bool {
+	id, ok := ast.Unparen(ch).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.pass.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	buffered := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || c.pass.Info.Defs[lid] != obj || i >= len(as.Rhs) {
+				continue
+			}
+			mk, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || !isBuiltinCall(c.pass.Info, mk, "make") || len(mk.Args) != 2 {
+				continue
+			}
+			if tv, ok := c.pass.Info.Types[mk.Args[1]]; ok && tv.Value != nil {
+				if v, ok := constant.Int64Val(tv.Value); ok && v > 0 {
+					buffered = true
+				}
+			}
+		}
+		return true
+	})
+	return buffered
+}
+
+func (c *eventLoopChecker) report(pos token.Pos, chain []string, msg string) {
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, "%s (event-loop path: %s)", msg, strings.Join(chain, " → "))
+}

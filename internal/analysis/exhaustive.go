@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustiveAnalyzer enforces that dispatch over protocol values cannot
+// silently drop a variant:
+//
+//   - A switch over an enum declared in a package named "proto" (a named
+//     integer type with ≥2 package-level constants, e.g. OpKind, Status)
+//     must either list every constant or carry a default clause.
+//   - A terminal type-switch over an any-typed value whose cases are
+//     protocol message types (≥2 named case types from packages named
+//     "core" or "proto") must carry a default clause — with an open message
+//     set, the default IS the exhaustiveness check, so it must exist and
+//     must do something (panic, error, count) rather than be empty.
+//
+// "Terminal" means the type-switch is the last statement of its function
+// body: dispatch loops like Deliver and transport demux. Non-terminal
+// type-switches (peeking at a message then falling through to common code)
+// legitimately ignore other variants.
+var ExhaustiveAnalyzer = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over proto enums and terminal protocol type-switches must cover all variants or fail explicitly",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var terminal ast.Stmt
+			if n := len(fd.Body.List); n > 0 {
+				terminal = fd.Body.List[n-1]
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SwitchStmt:
+					checkEnumSwitch(pass, n)
+				case *ast.TypeSwitchStmt:
+					if n == terminal {
+						checkTypeSwitch(pass, n)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkEnumSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.Info.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named := namedOf(tv.Type)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "proto" {
+		return
+	}
+	if b, ok := named.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+		return
+	}
+	members := enumMembers(named)
+	if len(members) < 2 {
+		return
+	}
+
+	covered := map[string]bool{}
+	hasDefault := false
+	for _, cl := range sw.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			var obj types.Object
+			switch e := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				obj = pass.Info.Uses[e]
+			case *ast.SelectorExpr:
+				obj = pass.Info.Uses[e.Sel]
+			}
+			if c, ok := obj.(*types.Const); ok {
+				covered[c.Name()] = true
+			}
+		}
+	}
+	if hasDefault {
+		return
+	}
+	var missing []string
+	for _, m := range members {
+		if !covered[m] {
+			missing = append(missing, m)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(),
+			"switch over %s.%s is not exhaustive: missing %s (add the cases or a default that fails explicitly)",
+			named.Obj().Pkg().Name(), named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// enumMembers lists the package-level constants of the named type, sorted by
+// declaration order (constant value, then name).
+func enumMembers(named *types.Named) []string {
+	scope := named.Obj().Pkg().Scope()
+	type member struct {
+		name string
+		val  string
+	}
+	var ms []member
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			ms = append(ms, member{name, c.Val().ExactString()})
+		}
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].val != ms[j].val {
+			return ms[i].val < ms[j].val
+		}
+		return ms[i].name < ms[j].name
+	})
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.name
+	}
+	return out
+}
+
+func checkTypeSwitch(pass *Pass, sw *ast.TypeSwitchStmt) {
+	protoCases := 0
+	hasDefault := false
+	var defaultClause *ast.CaseClause
+	for _, cl := range sw.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.Info.Types[e]
+			if !ok {
+				continue
+			}
+			if n := namedOf(tv.Type); n != nil && n.Obj().Pkg() != nil {
+				switch n.Obj().Pkg().Name() {
+				case "core", "proto":
+					protoCases++
+				}
+			}
+		}
+	}
+	if protoCases < 2 {
+		return
+	}
+	if !hasDefault {
+		pass.Reportf(sw.Pos(),
+			"terminal type-switch over protocol messages has no default: an unknown message would be silently dropped (add a default that fails explicitly)")
+		return
+	}
+	if len(defaultClause.Body) == 0 {
+		pass.Reportf(defaultClause.Pos(),
+			"empty default in protocol message type-switch silently drops unknown messages; panic, count, or log instead")
+	}
+}

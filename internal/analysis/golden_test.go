@@ -1,0 +1,49 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over its golden tree under testdata/ (a standalone
+// `vettest` module the go tool otherwise ignores). The red cases prove the
+// analyzer fires — if it ever stops, the unmatched want comment fails the
+// test — and the ignore-directive cases prove suppression works.
+
+func TestEventLoopGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.EventLoopAnalyzer, "./eventloop/...")
+}
+
+func TestAtomicFieldGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.AtomicFieldAnalyzer, "./atomicfield/...")
+}
+
+func TestWingsCodecGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.WingsCodecAnalyzer, "./wingscodec/...")
+}
+
+func TestExhaustiveGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ExhaustiveAnalyzer, "./exhaustive/...")
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DeterminismAnalyzer, "./determinism/...")
+}
+
+func TestAllAnalyzersDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range analysis.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %q incompletely defined", a.Name)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("expected 5 analyzers, got %d", len(seen))
+	}
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	// TestFiles are in-package _test.go files, parsed but not type-checked
+	// (analyzers treat them as a registry to consult — fuzz targets — not as
+	// code under analysis: tests may legitimately block, sleep and use
+	// wall-clock time).
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	Dir         string
+	ImportPath  string
+	Name        string
+	Export      string
+	GoFiles     []string
+	CgoFiles    []string
+	TestGoFiles []string
+	Standard    bool
+	Error       *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns under dir, compiles export
+// data for their dependency closure via `go list -export -deps`, and
+// type-checks each matched package from source. It is the stdlib-only
+// equivalent of golang.org/x/tools/go/packages.Load in LoadAllSyntax mode
+// for the target packages (dependencies come from compiled export data,
+// which is both faster and exactly what the compiler itself would see).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	matchSet := map[string]bool{}
+	for _, p := range listed.deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	for _, ip := range listed.match {
+		matchSet[ip] = true
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*Package
+	for _, p := range listed.deps {
+		if !matchSet[p.ImportPath] || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := typeCheck(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+type listResult struct {
+	deps  []listedPkg // full dependency closure, with export data
+	match []string    // import paths matching the patterns
+}
+
+func goList(dir string, patterns []string) (listResult, error) {
+	var res listResult
+
+	// Pass 1: which import paths do the patterns denote?
+	args := append([]string{"list", "-e"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return res, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			res.match = append(res.match, line)
+		}
+	}
+
+	// Pass 2: compile the closure and collect export data + file lists.
+	args = append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=Dir,ImportPath,Name,Export,GoFiles,CgoFiles,TestGoFiles,Standard,Error",
+	}, patterns...)
+	cmd = exec.Command("go", args...)
+	cmd.Dir = dir
+	stderr.Reset()
+	cmd.Stderr = &stderr
+	out, err = cmd.Output()
+	if err != nil {
+		return res, fmt.Errorf("go list -export %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return res, fmt.Errorf("decoding go list output: %v", err)
+		}
+		res.deps = append(res.deps, p)
+	}
+	return res, nil
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, p listedPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range append(append([]string{}, p.GoFiles...), p.CgoFiles...) {
+		af, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		files = append(files, af)
+	}
+	var testFiles []*ast.File
+	for _, name := range p.TestGoFiles {
+		af, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		testFiles = append(testFiles, af)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: p.ImportPath,
+		Name:       p.Name,
+		Dir:        p.Dir,
+		Fset:       fset,
+		Files:      files,
+		TestFiles:  testFiles,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,32 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestLoadRepoPackages smoke-tests the stdlib-only loader against the real
+// repository: packages resolve, type-check, and carry test files.
+func TestLoadRepoPackages(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "./internal/proto", "./internal/wings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*analysis.Package{}
+	for _, p := range pkgs {
+		byName[p.Name] = p
+	}
+	for _, name := range []string{"proto", "wings"} {
+		p := byName[name]
+		if p == nil {
+			t.Fatalf("package %s not loaded (got %v)", name, byName)
+		}
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Fatalf("package %s loaded without type information", name)
+		}
+	}
+	if len(byName["wings"].TestFiles) == 0 {
+		t.Error("wings test files not loaded; the fuzz registry check would be blind")
+	}
+}

@@ -1,0 +1,36 @@
+// Golden cases for the atomicfield analyzer: mixed atomic/plain access.
+package metrics
+
+import "sync/atomic"
+
+type Counters struct {
+	reads  uint64
+	writes uint64
+	other  uint64
+}
+
+func (c *Counters) IncReads() {
+	atomic.AddUint64(&c.reads, 1)
+}
+
+func (c *Counters) Reads() uint64 {
+	return atomic.LoadUint64(&c.reads)
+}
+
+func (c *Counters) Snapshot() uint64 {
+	return c.reads // want `plain access to field Counters\.reads, which is accessed atomically`
+}
+
+func (c *Counters) IncWrites() {
+	atomic.AddUint64(&c.writes, 1)
+}
+
+func (c *Counters) WritesApprox() uint64 {
+	return c.writes //hermesvet:ignore atomicfield approximate stats snapshot; a torn read is acceptable here
+}
+
+// Other is never touched atomically, so plain access is fine.
+func (c *Counters) Other() uint64 {
+	c.other++
+	return c.other
+}

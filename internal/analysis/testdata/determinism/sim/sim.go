@@ -1,0 +1,55 @@
+// Golden cases for the determinism analyzer, in a package named sim.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type Engine struct {
+	rng     *rand.Rand
+	pending map[uint64]int
+}
+
+// Seed builds a seeded generator — constructors are the sanctioned path.
+func (e *Engine) Seed(seed int64) {
+	e.rng = rand.New(rand.NewSource(seed))
+}
+
+func (e *Engine) Jitter() int {
+	return rand.Intn(10) // want `global rand\.Intn uses shared unseeded state`
+}
+
+// JitterSeeded draws from the engine's own generator: green case.
+func (e *Engine) JitterSeeded() int {
+	return e.rng.Intn(10)
+}
+
+func (e *Engine) Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now breaks seeded replay`
+}
+
+func (e *Engine) Retransmit() {
+	for k := range e.pending { // want `map iteration order feeds Send`
+		e.Send(k)
+	}
+}
+
+func (e *Engine) Send(k uint64) { _ = k }
+
+// RetransmitSorted collects and sorts keys before emitting: green case.
+func (e *Engine) RetransmitSorted() {
+	keys := make([]uint64, 0, len(e.pending))
+	for k := range e.pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		e.Send(k)
+	}
+}
+
+func (e *Engine) Uptime() time.Duration {
+	return time.Since(time.Time{}) //hermesvet:ignore determinism operator status line only; never feeds the schedule
+}

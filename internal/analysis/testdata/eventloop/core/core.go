@@ -1,0 +1,57 @@
+// Golden cases for the eventloop analyzer: a mock Hermes state machine in a
+// package named core, mirroring the real handler surface.
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+type Hermes struct {
+	mu    sync.Mutex
+	ch    chan int
+	inbox chan any
+}
+
+func (h *Hermes) Deliver(msg any) {
+	h.mu.Lock() // want `sync.Mutex.Lock may block the event loop`
+	defer h.mu.Unlock()
+	h.onINV(msg)
+}
+
+// onINV is not itself a root; the finding must surface via the Deliver chain.
+func (h *Hermes) onINV(msg any) {
+	_ = msg
+	time.Sleep(time.Millisecond) // want `time.Sleep blocks the event loop \(event-loop path: Deliver → onINV\)`
+}
+
+func (h *Hermes) Tick() {
+	h.ch <- 1   // want `channel send may block the event loop`
+	v := <-h.ch // want `channel receive may block the event loop`
+	_ = v
+	select { // want `select without a default case blocks the event loop`
+	case m := <-h.inbox:
+		_ = m
+	}
+}
+
+// Submit is the green case: goroutines, provably buffered channels, and
+// selects with a default are all sanctioned.
+func (h *Hermes) Submit(op int) {
+	done := make(chan int, 1)
+	go func() {
+		time.Sleep(time.Second) // off-loop goroutine: exempt
+		done <- op
+	}()
+	select {
+	case v := <-done:
+		_ = v
+	default:
+	}
+	done <- op // cap-1 channel made in this function: exempt
+}
+
+func (h *Hermes) OnViewChange() {
+	h.mu.Lock() //hermesvet:ignore eventloop two-load critical section held only while swapping the view pointer
+	h.mu.Unlock()
+}

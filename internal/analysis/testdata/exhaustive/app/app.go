@@ -1,0 +1,90 @@
+// Golden cases for the exhaustive analyzer: enum switches and terminal
+// type-switches over protocol messages.
+package app
+
+import "vettest/exhaustive/proto"
+
+func missing(k proto.OpKind) int {
+	switch k { // want `switch over proto\.OpKind is not exhaustive: missing OpRead`
+	case proto.OpWrite:
+		return 1
+	case proto.OpCAS, proto.OpFAA:
+		return 2
+	}
+	return 0
+}
+
+// covered lists every variant: green case.
+func covered(k proto.OpKind) int {
+	switch k {
+	case proto.OpRead, proto.OpWrite, proto.OpCAS, proto.OpFAA:
+		return 1
+	}
+	return 0
+}
+
+// defaulted fails explicitly on the variants it does not handle: green case.
+func defaulted(s proto.Status) int {
+	switch s {
+	case proto.OK:
+		return 1
+	default:
+		panic("unknown status")
+	}
+}
+
+func suppressed(s proto.Status) int {
+	//hermesvet:ignore exhaustive legacy accounting path predates Aborted and ignores it by design
+	switch s {
+	case proto.OK:
+		return 1
+	}
+	return 0
+}
+
+func use(uint64) {}
+
+func dispatch(m any) {
+	switch m := m.(type) { // want `terminal type-switch over protocol messages has no default`
+	case proto.INV:
+		use(m.Key)
+	case proto.ACK:
+		use(m.Key)
+	}
+}
+
+// dispatchChecked panics on unknown messages: green case.
+func dispatchChecked(m any) {
+	switch m := m.(type) {
+	case proto.INV:
+		use(m.Key)
+	case proto.VAL:
+		use(m.Key)
+	default:
+		panic("unknown message")
+	}
+}
+
+func dispatchEmptyDefault(m any) {
+	switch m.(type) {
+	case proto.INV:
+	case proto.ACK:
+	default: // want `empty default in protocol message type-switch silently drops unknown messages`
+	}
+}
+
+// peek is non-terminal — code follows the switch — so ignoring other
+// variants is legitimate: green case.
+func peek(m any) int {
+	n := 0
+	switch m := m.(type) {
+	case proto.INV:
+		use(m.Key)
+	case proto.ACK:
+		use(m.Key)
+	}
+	n++
+	return n
+}
+
+var _ = []any{missing, covered, defaulted, suppressed, dispatch, dispatchChecked, dispatchEmptyDefault, peek}

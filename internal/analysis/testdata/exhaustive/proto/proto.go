@@ -1,0 +1,23 @@
+// Mini protocol package for the exhaustive analyzer's golden cases: the
+// package name "proto" is what scopes the enum rule.
+package proto
+
+type OpKind uint8
+
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpCAS
+	OpFAA
+)
+
+type Status uint8
+
+const (
+	OK Status = iota
+	Aborted
+)
+
+type INV struct{ Key uint64 }
+type ACK struct{ Key uint64 }
+type VAL struct{ Key uint64 }

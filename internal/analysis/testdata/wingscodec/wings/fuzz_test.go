@@ -1,0 +1,12 @@
+package wings
+
+import "testing"
+
+// FuzzDecode registers tGood; tBad is deliberately missing (red case) and
+// tIgn carries an ignore directive at its declaration.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{tGood})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		_, _ = decode(b)
+	})
+}

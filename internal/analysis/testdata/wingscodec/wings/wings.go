@@ -1,0 +1,81 @@
+// Golden cases for the wingscodec analyzer: wire-count bound checks and the
+// fuzz-target registry, in a package named wings with the real reader shape.
+package wings
+
+import "io"
+
+const (
+	tGood uint8 = iota + 1
+	tBad        // want `wire tag tBad has no fuzz target`
+	tIgn        //hermesvet:ignore wingscodec link-layer frame covered by the transport fuzzer, not the codec one
+)
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) u16() uint16 {
+	if r.off+2 > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := uint16(r.b[r.off]) | uint16(r.b[r.off+1])<<8
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.off+4 > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := uint32(r.b[r.off])
+	r.off += 4
+	return v
+}
+
+// decode trusts the wire count: red case.
+func decode(b []byte) ([]uint64, error) {
+	r := &reader{b: b}
+	n := int(r.u32())
+	out := make([]uint64, n) // want `make sized by wire-read count n without a preceding bound check`
+	for i := range out {
+		out[i] = uint64(r.u32())
+	}
+	return out, r.err
+}
+
+// decodeChecked validates against remaining bytes first: green case.
+func decodeChecked(b []byte) ([]byte, error) {
+	r := &reader{b: b}
+	n := int(r.u32())
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:])
+	return out, nil
+}
+
+// decodeLoop appends under a wire-count loop bound with no check: red case.
+func decodeLoop(b []byte) []uint64 {
+	r := &reader{b: b}
+	n := int(r.u16())
+	var out []uint64
+	for i := 0; i < n && r.err == nil; i++ { // want `append loop bounded by wire-read count n`
+		out = append(out, uint64(r.u32()))
+	}
+	return out
+}
+
+func decodeIgnored(b []byte) []byte {
+	r := &reader{b: b}
+	n := int(r.u32())
+	out := make([]byte, n) //hermesvet:ignore wingscodec framing layer already capped the payload at maxFrame before dispatch
+	copy(out, r.b[r.off:])
+	return out
+}
+
+var _ = []any{decode, decodeChecked, decodeLoop, decodeIgnored}

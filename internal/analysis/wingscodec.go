@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WingsCodecAnalyzer enforces two decoder-side invariants inside packages
+// named "wings" (the wire codec):
+//
+//  1. Allocation sizes must not be trusted from the wire. A count read by the
+//     reader's u8/u16/u32/u64 accessors must pass through an `if` bound check
+//     (against remaining buffer bytes, a max constant, ...) before it sizes a
+//     make() or bounds a loop that appends. A loop's own `i < n` condition is
+//     not a bound check — that is exactly the shape of an attacker-controlled
+//     allocation loop.
+//  2. Every wire message tag (constants named t<Upper>...) must be exercised
+//     by a registered fuzz target: some Fuzz* function in the package's
+//     _test.go files has to reference the constant, so `go test -fuzz` seeds
+//     cover each frame type.
+var WingsCodecAnalyzer = &Analyzer{
+	Name: "wingscodec",
+	Doc:  "bound-check wire-read counts before allocating; every wire tag needs a fuzz target",
+	Run:  runWingsCodec,
+}
+
+func runWingsCodec(pass *Pass) {
+	if pass.Pkg.Name() != "wings" {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkWireCounts(pass, fd)
+		}
+	}
+	checkFuzzRegistry(pass)
+}
+
+// wireReadAccessors are the reader methods that pull little-endian integers
+// off the wire; a value produced by one of them is attacker-controlled.
+var wireReadAccessors = map[string]bool{"u8": true, "u16": true, "u32": true, "u64": true}
+
+func checkWireCounts(pass *Pass, fd *ast.FuncDecl) {
+	// Step 1: objects bound (possibly through a conversion) to a wire read.
+	wire := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj != nil && isWireReadExpr(pass.Info, as.Rhs[i]) {
+				wire[obj] = true
+			}
+		}
+		return true
+	})
+	if len(wire) == 0 {
+		return
+	}
+
+	// Step 2: positions where an `if` condition compares a wire count. Any
+	// comparison in an if — against remaining bytes, a cap, zero — counts;
+	// what matters is the decoder made a decision before allocating.
+	var checks []struct {
+		obj types.Object
+		pos token.Pos
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+			be, ok := c.(*ast.BinaryExpr)
+			if !ok || !isComparison(be.Op) {
+				return true
+			}
+			// The count may sit inside arithmetic (r.off+n > len(r.b)), so
+			// search both operands recursively.
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				ast.Inspect(side, func(s ast.Node) bool {
+					if id, ok := s.(*ast.Ident); ok {
+						if obj := pass.Info.Uses[id]; obj != nil && wire[obj] {
+							checks = append(checks, struct {
+								obj types.Object
+								pos token.Pos
+							}{obj, ifs.Pos()})
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+		return true
+	})
+	checked := func(obj types.Object, use token.Pos) bool {
+		for _, c := range checks {
+			if c.obj == obj && c.pos < use {
+				return true
+			}
+		}
+		return false
+	}
+	usesWire := func(e ast.Expr) types.Object {
+		var found types.Object
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil && wire[obj] {
+					found = obj
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	// Step 3: flag unchecked uses — make() sized by a wire count, and loops
+	// bounded by one whose body appends.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !isBuiltinCall(pass.Info, n, "make") {
+				return true
+			}
+			for _, arg := range n.Args[1:] {
+				if obj := usesWire(arg); obj != nil && !checked(obj, n.Pos()) {
+					pass.Reportf(n.Pos(),
+						"make sized by wire-read count %s without a preceding bound check against remaining buffer bytes",
+						obj.Name())
+				}
+			}
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				return true
+			}
+			obj := usesWire(n.Cond)
+			if obj == nil || checked(obj, n.Pos()) {
+				return true
+			}
+			appends := false
+			ast.Inspect(n.Body, func(b ast.Node) bool {
+				if call, ok := b.(*ast.CallExpr); ok && isBuiltinCall(pass.Info, call, "append") {
+					appends = true
+				}
+				return true
+			})
+			if appends {
+				pass.Reportf(n.Pos(),
+					"append loop bounded by wire-read count %s without a preceding bound check against remaining buffer bytes",
+					obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isWireReadExpr reports whether e is r.uN(...) possibly wrapped in a
+// conversion like int(...).
+func isWireReadExpr(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if isConversion(info, call) && len(call.Args) == 1 {
+		return isWireReadExpr(info, call.Args[0])
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && wireReadAccessors[sel.Sel.Name]
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+// checkFuzzRegistry verifies each wire tag constant (t<Upper>...) is
+// referenced from some Fuzz* function in the package's test files.
+func checkFuzzRegistry(pass *Pass) {
+	// Idents referenced inside Fuzz* functions (test files are parse-only,
+	// so matching is by name — tags are package-scoped constants).
+	fuzzed := map[string]bool{}
+	for _, f := range pass.TestFiles {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !strings.HasPrefix(fd.Name.Name, "Fuzz") || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					fuzzed[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !isWireTagName(name.Name) || fuzzed[name.Name] {
+						continue
+					}
+					pass.Reportf(name.Pos(),
+						"wire tag %s has no fuzz target: reference it from a Fuzz* function so decode fuzzing seeds this frame type",
+						name.Name)
+				}
+			}
+		}
+	}
+}
+
+// isWireTagName matches the tag naming convention: t followed by an
+// upper-case letter (tINV, tShardBatch, ...).
+func isWireTagName(name string) bool {
+	return len(name) >= 2 && name[0] == 't' && name[1] >= 'A' && name[1] <= 'Z'
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this test
+// binary. Perf-threshold assertions are skipped under it: the ~5-10x
+// slowdown and serialized memory accesses make throughput retention and
+// fast-path hit rates meaningless.
+const raceEnabled = true

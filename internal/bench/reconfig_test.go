@@ -11,6 +11,9 @@ import (
 // values (~95-100% retention, ~97% hit rate) to stay robust on loaded CI
 // hosts; `hermes-bench -exp reconfig` reports the real numbers.
 func TestReconfigUntouchedShardsRetainService(t *testing.T) {
+	if raceEnabled {
+		t.Skip("perf thresholds are meaningless under the race detector's slowdown")
+	}
 	r := RunReconfigPoint(4, false, 60*time.Millisecond)
 	if r.Installs < 20 {
 		t.Fatalf("storm issued only %d installs — no storm, no measurement", r.Installs)
@@ -49,6 +52,9 @@ func TestReconfigUntouchedShardsRetainService(t *testing.T) {
 // `hermes-bench -exp reconfig` reports the real numbers. Acceptance target:
 // ≥90% aggregate read retention.
 func TestRolloutStaggeredKeepsAggregateReads(t *testing.T) {
+	if raceEnabled {
+		t.Skip("perf thresholds are meaningless under the race detector's slowdown")
+	}
 	r := RunRolloutPoint(4, true, 60*time.Millisecond)
 	if r.Issued < 20 {
 		t.Fatalf("storm issued only %d views — no storm, no measurement", r.Issued)

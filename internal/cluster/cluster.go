@@ -82,7 +82,7 @@ func (t *ChanTransport) Send(from, to proto.NodeID, msg any) {
 	if d := t.drop.Load(); d != nil && (*d)(from, to, msg) {
 		return
 	}
-	t.mu.RLock()
+	t.mu.RLock() //hermesvet:ignore eventloop inbox-map read; writers only touch mu during Register/Close, never on the hot path
 	ch := t.inboxes[to]
 	t.mu.RUnlock()
 	if ch == nil {
@@ -166,7 +166,7 @@ func (e nodeEnv) Send(to proto.NodeID, msg any) {
 	e.n.tr.Send(e.n.id, to, msg)
 }
 func (e nodeEnv) Complete(c proto.Completion) {
-	e.n.mu.Lock()
+	e.n.mu.Lock() //hermesvet:ignore eventloop waiter-table critical section is a bounded map lookup+delete; Submit holds mu only to insert
 	w := e.n.waiters[c.OpID]
 	delete(e.n.waiters, c.OpID)
 	e.n.mu.Unlock()
@@ -176,7 +176,7 @@ func (e nodeEnv) Complete(c proto.Completion) {
 		// not block (the contract SubmitAsync documents).
 		w.fn(c)
 	case w.ch != nil:
-		w.ch <- c
+		w.ch <- c //hermesvet:ignore eventloop pooled cap-1 completion channel that receives exactly once per op; the send cannot block
 	}
 }
 

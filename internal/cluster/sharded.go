@@ -197,7 +197,7 @@ type peerCoalescer struct {
 }
 
 func (p *peerCoalescer) enqueue(sm proto.ShardMsg) {
-	p.mu.Lock()
+	p.mu.Lock() //hermesvet:ignore eventloop bounded append under the buffer lock; flushLoop copies the batch out and releases before any I/O
 	if len(p.buf) >= maxCoalesceBuf {
 		p.mu.Unlock()
 		p.sn.droppedOut.Add(1)
@@ -246,7 +246,7 @@ func (p *peerCoalescer) flushLoop() {
 // peer and credit class. Hot paths go through shardTransport's per-shard
 // cache and reach here only on first contact with a peer.
 func (sn *ShardedNode) coalescerFor(k coalKey) *peerCoalescer {
-	sn.coalMu.Lock()
+	sn.coalMu.Lock() //hermesvet:ignore eventloop first-contact slow path only; steady state resolves the coalescer through the per-shard cache
 	defer sn.coalMu.Unlock()
 	p := sn.coal[k]
 	if p == nil {

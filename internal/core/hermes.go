@@ -384,6 +384,9 @@ func (h *Hermes) startUpdate(op proto.ClientOp, e kvs.Entry) {
 	case proto.OpFAA:
 		oldVal = e.Value
 		newVal = proto.EncodeInt64(proto.DecodeInt64(e.Value) + proto.DecodeInt64(op.Value))
+	default:
+		// Reads are served from the local Valid copy and never coordinate.
+		panic("core: non-update op kind reached startUpdate")
 	}
 
 	// CTS: writes advance the version by 2, RMWs by 1, so a write racing an

@@ -297,6 +297,8 @@ func (r *Replica) headWrite(op proto.ClientOp, origin proto.NodeID) {
 			return
 		}
 		val = op.Value.Clone()
+	case proto.OpRead:
+		panic("craq: read op reached the write path")
 	case proto.OpFAA:
 		rmwOld = newest
 		val = proto.EncodeInt64(proto.DecodeInt64(newest) + proto.DecodeInt64(op.Value))

@@ -354,6 +354,9 @@ func (r *Replica) apply(origin proto.NodeID, u Update) {
 	case proto.OpFAA:
 		retVal = cur
 		newVal = proto.EncodeInt64(proto.DecodeInt64(cur) + proto.DecodeInt64(u.Value))
+	default:
+		// Reads never enter the total order; an OpRead here is a bug.
+		panic("lockstep: non-update op kind in apply")
 	}
 	r.data[u.Key] = newVal
 	if origin == r.id {

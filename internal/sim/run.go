@@ -139,6 +139,8 @@ func (s *session) onDone(comp proto.Completion) {
 		// Back off and retry: the replica may regain its lease.
 		s.c.eng.After(time.Millisecond, func() { s.issue(s.pending) })
 		return
+	case proto.OK, proto.CASFailed:
+		// Completed operations fall through to latency recording below.
 	}
 	lat := now - s.issued
 	if now >= s.r.start && now < s.r.end {

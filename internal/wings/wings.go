@@ -413,6 +413,12 @@ func decodeMsg(t uint8, body []byte) (any, error) {
 	case tChunkResp:
 		m := core.ChunkResp{Epoch: r.u32(), Cursor: r.u64(), Done: r.boolv()}
 		n := int(r.u32())
+		// Each record occupies at least 20 wire bytes (key 8, TS 6, two
+		// flags, empty-value length 4); a count claiming more records than
+		// the remaining bytes could hold is hostile.
+		if n < 0 || n > (len(r.b)-r.off)/20 {
+			return nil, io.ErrUnexpectedEOF
+		}
 		for i := 0; i < n && r.err == nil; i++ {
 			m.Keys = append(m.Keys, proto.Key(r.u64()))
 			rec := core.ChunkRec{TS: r.ts()}

@@ -272,6 +272,9 @@ func (r *Replica) propose(op proto.ClientOp, origin proto.NodeID) {
 	case proto.OpFAA:
 		rmwOld = cur
 		val = proto.EncodeInt64(proto.DecodeInt64(cur) + proto.DecodeInt64(op.Value))
+	default:
+		// Reads are answered from specState without a proposal.
+		panic("zab: non-update op kind in propose")
 	}
 	r.counter++
 	entry := LogEntry{
