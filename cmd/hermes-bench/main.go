@@ -8,7 +8,8 @@
 //	hermes-bench -exp fig9 -quick    # reduced scale
 //
 // Experiments: fig5a fig5b fig6a fig6b fig6c fig7 fig8 fig9 table2 shards
-// reads reconfig clients ablation-o1 ablation-o2 ablation-o3 ablation-nolsc
+// reads reconfig clients gray ablation-o1 ablation-o2 ablation-o3
+// ablation-nolsc
 package main
 
 import (
@@ -62,6 +63,8 @@ func main() {
 			func() fmt.Stringer { return bench.ReconfigAvailability(sc) }},
 		{"clients", "LIVE wire serving layer: pipelined TCP sessions vs the in-process fast path, with p50/p99/p999 (§6)",
 			func() fmt.Stringer { return bench.Clients(sc) }},
+		{"gray", "Gray failures on the chaos harness: asym partitions, slow-but-alive, clock skew, burst reorder, epoch-gossip healing",
+			func() fmt.Stringer { return bench.Gray(sc) }},
 		{"ablation-o1", "O1: VAL elision savings (paper §3.3)",
 			func() fmt.Stringer { return bench.AblationO1(sc) }},
 		{"ablation-o2", "O2: virtual node ID fairness (paper §3.3)",

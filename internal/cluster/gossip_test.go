@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// Epoch-gossip self-healing on the live runtime: announcements over the real
+// transport, the laggard detecting itself behind, and the debounced
+// newest-peer-preferred fast-forward — the loop the chaos harness exercises
+// under faults, here pinned deterministically against the goroutine/channel
+// stack.
+
+// TestGossipSelfHealsLaggard closes the loop end to end with no operator and
+// no test backdoor: node 0's controller announces its per-shard epoch vector
+// on a timer; node 1's controller — which missed every decided view — must
+// observe itself behind from the announcements alone, issue its own view-log
+// fetch, and converge.
+func TestGossipSelfHealsLaggard(t *testing.T) {
+	const w = 4
+	l := NewShardedLocal(LocalConfig{N: 3}, w)
+	defer l.Close()
+	a, b := l.Nodes[0], l.Nodes[1]
+	rcA := NewRolloutController(a, RolloutConfig{
+		GossipEvery: 5 * time.Millisecond,
+		GossipPeers: []proto.NodeID{0, 1, 2},
+	})
+	defer rcA.Close()
+	rcB := NewRolloutController(b, RolloutConfig{})
+	defer rcB.Close()
+
+	// Epochs 2..5 reach only node 0; node 1's agent missed them all.
+	for e := uint32(2); e <= 5; e++ {
+		rcA.OnView(view3(e))
+	}
+	waitEpochs(t, func() bool {
+		for _, e := range a.ShardEpochs() {
+			if e != 5 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Node 1 heals itself: no FastForward call anywhere in this test.
+	waitEpochs(t, func() bool {
+		for _, e := range b.ShardEpochs() {
+			if e != 5 {
+				return false
+			}
+		}
+		return true
+	})
+	if st := rcA.Stats(); st.GossipSent == 0 {
+		t.Fatalf("announcer sent no gossip: %+v", st)
+	}
+	st := rcB.Stats()
+	if st.GossipRecv == 0 || st.GossipBehind == 0 {
+		t.Fatalf("laggard observed nothing: %+v", st)
+	}
+	if st.GossipFastForwards == 0 {
+		t.Fatalf("laggard never fast-forwarded itself: %+v", st)
+	}
+	if st.FFApplied < 4 {
+		t.Fatalf("ffApplied = %d, want >= 4 (epochs 2..5)", st.FFApplied)
+	}
+}
+
+// TestGossipDebounceNewestPeerPreferred pins the observer's rate-limit
+// rules: within one debounce window at most one fetch fires, later
+// observations only raise the stored candidate, and when the window expires
+// the fetch goes to the highest-epoch candidate seen — not to whichever peer
+// happened to trigger it. It also pins advisory safety: a vector advertising
+// epochs the peer cannot serve wastes exactly one request and corrupts
+// nothing.
+func TestGossipDebounceNewestPeerPreferred(t *testing.T) {
+	const w = 4
+	l := NewShardedLocal(LocalConfig{N: 3}, w)
+	defer l.Close()
+	rc0 := NewRolloutController(l.Nodes[0], RolloutConfig{FFDebounce: 300 * time.Millisecond})
+	defer rc0.Close()
+	rc1 := NewRolloutController(l.Nodes[1], RolloutConfig{}) // stale: retains no views
+	defer rc1.Close()
+	rc2 := NewRolloutController(l.Nodes[2], RolloutConfig{})
+	defer rc2.Close()
+	for e := uint32(2); e <= 7; e++ {
+		rc2.OnView(view3(e))
+	}
+	waitEpochs(t, func() bool {
+		for _, e := range l.Nodes[2].ShardEpochs() {
+			if e != 7 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Peer 1 advertises epoch 2 it cannot actually serve (its view log is
+	// empty). The first observation in an idle window fires immediately —
+	// at peer 1 — and the empty answer must leave node 0 untouched.
+	two := []uint32{2, 2, 2, 2}
+	rc0.ObserveGossip(1, two)
+	waitEpochs(t, func() bool { return rc0.Stats().FFRequests == 1 })
+	if st := rc0.Stats(); st.GossipFastForwards != 1 || st.FFApplied != 0 {
+		t.Fatalf("lying vector: stats %+v, want 1 wasted request, 0 applied", st)
+	}
+	for _, e := range l.Nodes[0].ShardEpochs() {
+		if e != 1 {
+			t.Fatalf("lying vector moved node 0 to %v", l.Nodes[0].ShardEpochs())
+		}
+	}
+
+	// Inside the debounce window: peer 2's (truthful, higher) vector only
+	// becomes the stored candidate — no second fetch yet.
+	rc0.ObserveGossip(2, []uint32{7, 7, 7, 7})
+	time.Sleep(20 * time.Millisecond)
+	if got := rc0.Stats().GossipFastForwards; got != 1 {
+		t.Fatalf("debounce window leaked: %d fetches, want 1", got)
+	}
+
+	// Past the window, peer 1's low vector triggers again — but the fetch
+	// must go to the stored newest candidate (peer 2), or node 0 would chase
+	// the liar forever. Convergence to epoch 7 is the proof of the target.
+	time.Sleep(350 * time.Millisecond)
+	rc0.ObserveGossip(1, two)
+	waitEpochs(t, func() bool {
+		for _, e := range l.Nodes[0].ShardEpochs() {
+			if e != 7 {
+				return false
+			}
+		}
+		return true
+	})
+	if st := rc0.Stats(); st.GossipFastForwards != 2 || st.FFApplied != 6 {
+		t.Fatalf("stats %+v, want 2 fetches / 6 applied (epochs 2..7)", st)
+	}
+}

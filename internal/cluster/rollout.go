@@ -54,9 +54,18 @@ type RolloutController struct {
 	// touches it.
 	prevLoads []uint64
 
+	// Epoch-gossip observer state (under mu): the debounce horizon and the
+	// best fast-forward candidate seen during the current debounce window
+	// (newest peer preferred — the one advertising the highest epoch).
+	ffNotBefore time.Time
+	candPeer    proto.NodeID
+	candEpoch   uint32
+	haveCand    bool
+
 	// Counters (see RolloutStats).
 	views, redelivered, shardInstalls, skippedInstalls atomic.Uint64
 	nodeWideFallbacks, ffRequests, ffApplied           atomic.Uint64
+	gossipSent, gossipRecv, gossipBehind, gossipFF     atomic.Uint64
 
 	// onInstall is a test hook observing each per-shard install in order.
 	onInstall func(shard int, v proto.View)
@@ -72,6 +81,21 @@ type RolloutConfig struct {
 	// are control-plane rare, and a laggard behind by more rejoins through
 	// the full learner arc anyway).
 	LogCap int
+	// GossipEvery, when positive, broadcasts this node's per-shard epoch
+	// vector (proto.EpochGossip) to GossipPeers on that period. Combined
+	// with the observer on the receive side this closes the self-healing
+	// loop: a node that missed m-updates learns its lag from any peer's
+	// gossip and fast-forwards itself, no operator or harness required.
+	GossipEvery time.Duration
+	// GossipPeers is the mesh peer set gossip is announced to (typically
+	// the full configured node set; self is skipped).
+	GossipPeers []proto.NodeID
+	// FFDebounce rate-limits gossip-triggered fast-forwards: within one
+	// window, at most one fetch is issued, and the candidate peer is the
+	// one advertising the highest epoch seen in the window (newest peer
+	// preferred — it provably retains the longest log suffix). Default
+	// 4 x GossipEvery, or 100ms when gossip is off.
+	FFDebounce time.Duration
 }
 
 // RolloutStats snapshots the controller's counters.
@@ -91,6 +115,12 @@ type RolloutStats struct {
 	// FFRequests counts view-log fetches issued; FFApplied counts fetched
 	// updates actually applied (epoch advanced somewhere).
 	FFRequests, FFApplied uint64
+	// GossipSent counts epoch-gossip frames announced; GossipRecv counts
+	// frames observed; GossipBehind counts observations that showed a peer
+	// strictly ahead of a local shard; GossipFastForwards counts the
+	// fetches those observations actually issued after debouncing (the
+	// self-healing trigger firing).
+	GossipSent, GossipRecv, GossipBehind, GossipFastForwards uint64
 }
 
 // NewRolloutController attaches a controller to sn and starts its roll
@@ -123,10 +153,105 @@ func NewRolloutController(sn *ShardedNode, cfg RolloutConfig) *RolloutController
 		View:        rc.OnView,
 		ViewLog:     rc.serveViewLog,
 		FastForward: rc.onViewLogResp,
+		Gossip:      rc.ObserveGossip,
 	})
 	rc.wg.Add(1)
 	go rc.loop()
+	if cfg.GossipEvery > 0 {
+		rc.wg.Add(1)
+		go rc.gossipLoop()
+	}
 	return rc
+}
+
+// ffDebounce resolves the configured (or defaulted) debounce window.
+func (rc *RolloutController) ffDebounce() time.Duration {
+	if rc.cfg.FFDebounce > 0 {
+		return rc.cfg.FFDebounce
+	}
+	if rc.cfg.GossipEvery > 0 {
+		return 4 * rc.cfg.GossipEvery
+	}
+	return 100 * time.Millisecond
+}
+
+// gossipLoop periodically announces this node's per-shard epoch vector to
+// the configured peers. Sends run on this goroutine, never the dispatch
+// pump, so a slow peer link cannot stall anything but its own gossip.
+func (rc *RolloutController) gossipLoop() {
+	defer rc.wg.Done()
+	t := time.NewTicker(rc.cfg.GossipEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-rc.stop:
+			return
+		case <-t.C:
+		}
+		eg := proto.EpochGossip{Epochs: rc.sn.ShardEpochs()}
+		for _, p := range rc.cfg.GossipPeers {
+			if p == rc.sn.id {
+				continue
+			}
+			rc.gossipSent.Add(1)
+			rc.sn.tr.Send(rc.sn.id, p, eg)
+		}
+	}
+}
+
+// ObserveGossip is the receive side of epoch gossip (registered as the
+// node's Gossip handler; membership heartbeat piggybacks route here too). If
+// the peer's vector is strictly ahead of any local shard, the peer becomes a
+// fast-forward candidate; at most one fetch fires per debounce window, at
+// the candidate advertising the highest epoch seen within it. The fetch
+// itself is advisory-safe: its answer replays through the normal install
+// path, so a lying vector can waste one request, never corrupt state.
+func (rc *RolloutController) ObserveGossip(from proto.NodeID, epochs []uint32) {
+	rc.gossipRecv.Add(1)
+	local := rc.sn.ShardEpochs()
+	behind := false
+	var peerMax, localMax uint32
+	for _, e := range local {
+		if e > localMax {
+			localMax = e
+		}
+	}
+	for i, e := range epochs {
+		if e > peerMax {
+			peerMax = e
+		}
+		if i < len(local) && e > local[i] {
+			behind = true
+		}
+	}
+	// W-mismatched peers (different vector lengths) still compare by their
+	// highest epoch: views are node-wide decisions, so a peer whose maximum
+	// is ahead has seen an epoch this node missed entirely.
+	if peerMax > localMax {
+		behind = true
+	}
+	if !behind {
+		return
+	}
+	rc.gossipBehind.Add(1)
+	now := time.Now()
+	rc.mu.Lock()
+	if !rc.haveCand || peerMax > rc.candEpoch {
+		rc.candPeer, rc.candEpoch, rc.haveCand = from, peerMax, true
+	}
+	if now.Before(rc.ffNotBefore) {
+		rc.mu.Unlock()
+		return
+	}
+	rc.ffNotBefore = now.Add(rc.ffDebounce())
+	peer := rc.candPeer
+	rc.haveCand, rc.candEpoch = false, 0
+	rc.mu.Unlock()
+	rc.gossipFF.Add(1)
+	// The fetch leaves on its own goroutine: ObserveGossip runs on the
+	// transport's dispatch pump, and a blocking send (lazy dial, exhausted
+	// credits) must not stall data traffic behind a control-plane hint.
+	go rc.FastForward(peer)
 }
 
 // OnView accepts one decided view. Newer epochs queue for rolling (newest
@@ -215,13 +340,17 @@ func (rc *RolloutController) FastForward(peer proto.NodeID) {
 // Stats snapshots the controller's counters; safe mid-traffic.
 func (rc *RolloutController) Stats() RolloutStats {
 	return RolloutStats{
-		Views:             rc.views.Load(),
-		Redelivered:       rc.redelivered.Load(),
-		ShardInstalls:     rc.shardInstalls.Load(),
-		SkippedInstalls:   rc.skippedInstalls.Load(),
-		NodeWideFallbacks: rc.nodeWideFallbacks.Load(),
-		FFRequests:        rc.ffRequests.Load(),
-		FFApplied:         rc.ffApplied.Load(),
+		Views:              rc.views.Load(),
+		Redelivered:        rc.redelivered.Load(),
+		ShardInstalls:      rc.shardInstalls.Load(),
+		SkippedInstalls:    rc.skippedInstalls.Load(),
+		NodeWideFallbacks:  rc.nodeWideFallbacks.Load(),
+		FFRequests:         rc.ffRequests.Load(),
+		FFApplied:          rc.ffApplied.Load(),
+		GossipSent:         rc.gossipSent.Load(),
+		GossipRecv:         rc.gossipRecv.Load(),
+		GossipBehind:       rc.gossipBehind.Load(),
+		GossipFastForwards: rc.gossipFF.Load(),
 	}
 }
 

@@ -81,6 +81,10 @@ type ViewHandlers struct {
 	ViewLog func(req proto.ViewLogReq) []proto.MUpdate
 	// FastForward receives a view-log answer to this node's own fetch.
 	FastForward func(from proto.NodeID, updates []proto.MUpdate)
+	// Gossip receives a peer's per-shard epoch vector (proto.EpochGossip);
+	// the handler decides whether the peer is ahead and whether to
+	// fast-forward. Without a handler gossip frames drop harmlessly.
+	Gossip func(from proto.NodeID, epochs []uint32)
 }
 
 // ShardedConfig parameterizes a sharded replica. The embedded per-shard
@@ -322,6 +326,13 @@ func (sn *ShardedNode) dispatch(from proto.NodeID, msg any) {
 			ups = h.ViewLog(m)
 		}
 		go sn.tr.Send(sn.id, from, proto.ViewLogResp{Updates: ups})
+	case proto.EpochGossip:
+		// Advisory epoch gossip from a peer. Only an attached controller
+		// knows how to act on it (debounce, pick the newest peer, fetch);
+		// without one it drops — it carries no state, only a hint.
+		if h := sn.viewHandlers.Load(); h != nil && h.Gossip != nil {
+			h.Gossip(from, m.Epochs)
+		}
 	case proto.ViewLogResp:
 		// The answer to this node's own fetch: hand it to the controller
 		// (which orders and counts the replay), or replay the entries

@@ -91,6 +91,8 @@ type Metrics struct {
 	EarlyValidations        uint64 // O3: validated from ACKs before any VAL
 	MChecks                 uint64 // §8 membership checks issued
 	SpecReadsFlushedByWrite uint64 // §8 reads released by a local commit
+	TeachACKs               uint64 // ACK-without-apply carrying the rival entry
+	TaughtApplied           uint64 // rival entries installed from teaching ACKs
 }
 
 // Hermes is one replica's protocol state machine.
@@ -256,6 +258,21 @@ func (h *Hermes) SetOperational(ok bool) {
 
 // Operational reports whether the replica currently serves client requests.
 func (h *Hermes) Operational() bool { return h.oper && !h.learner }
+
+// SetNoLSC flips §8 clock-free read mode at runtime — an operator restoring
+// trust in loosely synchronized clocks (or withdrawing it when skew is
+// detected) without a restart. Must be called from the event loop's
+// goroutine, like any state mutation. Enabling closes the read-gate fast
+// path immediately; disabling reopens it, and reads already queued
+// speculatively still drain through their majority proof (Tick and commit
+// flushes are gated on pending reads, not on the mode).
+func (h *Hermes) SetNoLSC(on bool) {
+	if h.cfg.NoLSC == on {
+		return
+	}
+	h.cfg.NoLSC = on
+	h.publishGate()
+}
 
 // SetOnCaughtUp registers a callback fired when a learner finishes state
 // transfer and is ready to be promoted to a serving member.
@@ -495,7 +512,7 @@ func (h *Hermes) onINV(from proto.NodeID, inv INV) {
 	if cmp > 0 {
 		h.applyINV(inv)
 	}
-	h.sendACK(from, inv)
+	h.sendACK(from, inv, cmp)
 }
 
 // applyINV installs a higher-timestamped update: FINV's state transition
@@ -573,9 +590,21 @@ func (h *Hermes) applyINV(inv INV) {
 }
 
 // sendACK acknowledges an INV: to the coordinator only, or — under O3 — to
-// every replica so followers can validate without the VAL round.
-func (h *Hermes) sendACK(from proto.NodeID, inv INV) {
+// every replica so followers can validate without the VAL round. cmp is the
+// INV's timestamp compared against the local entry; when the local entry
+// outranked the INV (cmp < 0, ACK-without-apply) the ACK teaches the sender
+// the rival entry so the losing write's coordinator never validates its copy
+// blind to the in-flight chain above it.
+func (h *Hermes) sendACK(from proto.NodeID, inv INV, cmp int) {
 	ack := ACK{Epoch: h.view.Epoch, Key: inv.Key, TS: inv.TS}
+	if cmp < 0 {
+		e := h.entry(inv.Key)
+		ack.Higher = true
+		ack.HTS = e.TS
+		ack.HVal = e.Value.Clone()
+		ack.HRMW = e.RMW
+		h.metrics.TeachACKs++
+	}
 	if !h.cfg.EarlyACKs {
 		h.env.Send(from, ack)
 		h.metrics.ACKsSent++
@@ -595,6 +624,9 @@ func (h *Hermes) onACK(from proto.NodeID, ack ACK) {
 	if h.staleEpoch(ack.Epoch) {
 		return
 	}
+	if ack.Higher {
+		h.learnHigher(ack)
+	}
 	if m := h.meta[ack.Key]; m != nil && m.pend != nil && m.pend.ts == ack.TS {
 		m.pend.acked[from] = true
 		h.checkCommit(ack.Key, m)
@@ -603,6 +635,32 @@ func (h *Hermes) onACK(from proto.NodeID, ack ACK) {
 	if h.cfg.EarlyACKs {
 		h.recordEarlyACK(from, ack.Key, ack.TS)
 	}
+}
+
+// learnHigher installs a teaching ACK's rival entry exactly as if the
+// rival's own INV had arrived. The installed entry is Invalid — the teacher
+// holds it uncommitted, so the rival's VAL or the §3.4 replay machinery
+// (not this node) must validate it.
+//
+// This closes the stale-RMW-read hole: without the payload, a write that
+// gathered an ACK-without-apply validates its own copy at commit time blind
+// to the in-flight rival above it, and an RMW minted from that Valid copy
+// reads a chain the rival later splices into below the RMW's timestamp.
+// Taught, the coordinator's entry advances past its pending write instead
+// (the write still commits — a plain write serializes before the rival and
+// never aborts), the key stays Invalid, and the RMW waits with the other
+// stalled requests until the rival's chain resolves. A pending RMW or
+// replay outranked by the taught entry is handled by applyINV itself
+// (CRMW-abort / subsumption). Crucially the pending's own timestamp is
+// never reissued: its INV is already out, so a replay may have committed —
+// and readers observed — it without this coordinator's knowledge.
+func (h *Hermes) learnHigher(ack ACK) {
+	e := h.entry(ack.Key)
+	if !e.TS.Before(ack.HTS) {
+		return
+	}
+	h.metrics.TaughtApplied++
+	h.applyINV(INV{Epoch: ack.Epoch, Key: ack.Key, TS: ack.HTS, Value: ack.HVal, RMW: ack.HRMW})
 }
 
 // recordEarlyACK tracks which replicas have acknowledged (key, ts). ACKs may
@@ -716,14 +774,40 @@ func (h *Hermes) finishPending(k proto.Key, m *keyMeta) {
 		h.drainWaiters(k, m)
 		h.gc(k, m)
 	default:
-		// Trans: key stays Invalid until the newer write validates it.
+		// Trans: key stays Invalid until the newer write validates it. In
+		// place of a VAL for our outranked timestamp we relay the newer
+		// entry's INV: a naked VAL would let a follower still holding our
+		// copy validate it while the rival is in flight, and an RMW minted
+		// from that Valid copy reads a chain the rival splices into below
+		// the RMW's timestamp — the same hole teaching ACKs close at the
+		// coordinator. §3.4 lets any invalidated node re-broadcast a write
+		// it knows; the rival's own VAL or a replay validates it.
 		h.store.SetState(k, kvs.Invalid)
 		if len(m.waiters) > 0 && m.replayAt == 0 {
 			m.replayAt = h.env.Now() + h.cfg.MLT
 		}
-		h.elideOrBroadcastVAL(k, p.ts)
+		if h.cfg.ElideVAL || h.cfg.EarlyACKs {
+			// O1/O3 already sent nothing here; followers stuck on our
+			// timestamp cure via broadcast ACKs or replay + teaching.
+			h.metrics.VALsElided++
+		} else {
+			h.relayHigherINV(k)
+		}
 		h.tryEarlyValidate(k, m)
 		h.gc(k, m)
+	}
+}
+
+// relayHigherINV re-broadcasts the entry that superseded a just-committed
+// local write. Receivers still holding the outranked copy advance onto the
+// rival's chain instead of waiting to validate a timestamp that never will;
+// receivers already past it ACK harmlessly.
+func (h *Hermes) relayHigherINV(k proto.Key) {
+	e := h.entry(k)
+	msg := INV{Epoch: h.view.Epoch, Key: k, TS: e.TS, Value: e.Value.Clone(), RMW: e.RMW}
+	for _, n := range h.view.WriteSet(h.id) {
+		h.env.Send(n, msg)
+		h.metrics.INVsSent++
 	}
 }
 
@@ -800,7 +884,10 @@ func (h *Hermes) Tick() {
 			}
 		}
 	}
-	if h.cfg.NoLSC && len(h.specReads) > 0 && !h.checkOpen {
+	// Not gated on cfg.NoLSC: reads queued while NoLSC was on still need
+	// their majority proof after SetNoLSC(false) — the mode flip must drain
+	// the residue, not strand it.
+	if len(h.specReads) > 0 && !h.checkOpen {
 		h.issueMCheck()
 	}
 	if h.learner && !h.fetchDone && (!h.fetchBusy || now >= h.fetchRetryAt) {
@@ -809,11 +896,17 @@ func (h *Hermes) Tick() {
 }
 
 // OnViewChange implements proto.Replica: install the m-update (§3.4).
-// Pending plain writes shed ACKs owed by removed nodes and pick up newly
-// added nodes; pending RMWs reset their gathered ACKs entirely and replay
-// (CRMW-replay) so commitment is re-established against the new membership.
-// Unacknowledged INVs are rebroadcast under the new epoch, since followers
-// drop old-epoch messages.
+// Every pending update resets its gathered ACKs and rebroadcasts its INVs
+// under the new epoch, so commitment is re-established against the new
+// membership from scratch. An ACK gathered under an older epoch proves
+// nothing about the node that sent it: it may since have crashed, lost its
+// store, and rejoined as a learner whose chunk transfer delivered a snapshot
+// that predates this very write — counting its dead incarnation's ACK would
+// commit the write without ever invalidating the new incarnation, leaving
+// that node Valid at a stale version. A coordinator minting a timestamp from
+// that stale version then loses to the already-committed write and its
+// update silently vanishes (found by the gray-failure chaos sweep; pinned by
+// TestChaosStaleAckIncarnation).
 func (h *Hermes) OnViewChange(v proto.View) {
 	if v.Epoch <= h.view.Epoch {
 		// Duplicate or stale m-update: a lossy wire may deliver the same
@@ -854,9 +947,7 @@ func (h *Hermes) OnViewChange(v proto.View) {
 			// verdict (applyINV) must not claim them as ours.
 			p.slipped = true
 		}
-		if p.rmw {
-			p.acked = make(map[proto.NodeID]bool)
-		}
+		p.acked = make(map[proto.NodeID]bool)
 		p.resendAt = h.env.Now() + h.cfg.MLT
 		h.broadcastINV(k, p)
 		h.checkCommit(k, m)
@@ -911,7 +1002,9 @@ func (h *Hermes) maybeReleaseSpecReads() {
 // gathering strictly follows every queued read, and acknowledgments from all
 // live replicas subsume the majority proof §8 requires.
 func (h *Hermes) flushSpecReadsOnCommit() {
-	if !h.cfg.NoLSC || len(h.specReads) == 0 {
+	// Gated on pending reads, not cfg.NoLSC: a commit proof is equally valid
+	// for reads queued before a SetNoLSC(false) flip.
+	if len(h.specReads) == 0 {
 		return
 	}
 	h.metrics.SpecReadsFlushedByWrite += uint64(len(h.specReads))

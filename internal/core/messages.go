@@ -25,10 +25,26 @@ type INV struct {
 // coordinator can match it to the pending update. Under optimization O3
 // (§3.3) ACKs are broadcast to every replica rather than unicast to the
 // coordinator, letting followers validate a half round-trip early.
+//
+// When the acker's local timestamp outranks the INV (an ACK-without-apply:
+// the write still commits but is serialized before the acker's chain), the
+// ACK teaches the sender the rival entry via the Higher* fields. Without the
+// payload the losing coordinator validates its own copy in ignorance of the
+// in-flight rival, and an RMW minted from that copy reads a chain the rival
+// is about to splice into — the stale-read interleaving the gray-failure
+// chaos sweep exposed (pinned by TestChaosTeachingACK). The recipient only
+// installs the taught entry (see Hermes.learnHigher); it never re-issues its
+// own write at a fresh timestamp, because the outranked INV may already have
+// committed through a §3.4 replay elsewhere.
 type ACK struct {
 	Epoch uint32
 	Key   proto.Key
 	TS    proto.TS
+
+	Higher bool        // local entry outranked the INV; payload follows
+	HTS    proto.TS    // the outranking entry's timestamp
+	HVal   proto.Value // its value (uncommitted here, so applied Invalid)
+	HRMW   bool        // whether that entry was minted by an RMW
 }
 
 // VAL validates a key: the write with the carried timestamp committed, so a

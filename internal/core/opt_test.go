@@ -10,9 +10,12 @@ import (
 )
 
 // O1: a coordinator that finished in Trans state (its write superseded)
-// skips the VAL broadcast, saving bandwidth (§3.3).
+// skips the outgoing broadcast, saving bandwidth (§3.3). Without O1 the
+// Trans commit relays the superseding write's INV — not a VAL for its own
+// outranked timestamp, which would let a follower validate a copy the rival
+// is about to splice past (see finishPending).
 func TestO1ElidesUnnecessaryVALs(t *testing.T) {
-	run := func(elide bool) (vals, elided uint64) {
+	run := func(elide bool) (sent, elided uint64) {
 		h := newHarness(t, 3, func(c *Config) { c.ElideVAL = elide })
 		h.write(0, 1, "low")  // (2,0) — will be superseded
 		h.write(2, 1, "high") // (2,2)
@@ -30,18 +33,18 @@ func TestO1ElidesUnnecessaryVALs(t *testing.T) {
 		h.advance(15 * time.Millisecond)
 		h.run()
 		m := h.nodes[0].Metrics()
-		return m.VALsSent, m.VALsElided
+		return m.VALsSent + m.INVsSent, m.VALsElided
 	}
-	valsOff, elidedOff := run(false)
-	valsOn, elidedOn := run(true)
+	sentOff, elidedOff := run(false)
+	sentOn, elidedOn := run(true)
 	if elidedOff != 0 {
-		t.Fatalf("baseline elided %d VAL broadcasts", elidedOff)
+		t.Fatalf("baseline elided %d broadcasts", elidedOff)
 	}
 	if elidedOn == 0 {
-		t.Fatal("O1 never elided a VAL broadcast in a Trans commit")
+		t.Fatal("O1 never elided a broadcast in a Trans commit")
 	}
-	if valsOn >= valsOff {
-		t.Fatalf("O1 did not reduce VALs: %d vs %d", valsOn, valsOff)
+	if sentOn >= sentOff {
+		t.Fatalf("O1 did not reduce outgoing broadcasts: %d vs %d", sentOn, sentOff)
 	}
 }
 

@@ -27,9 +27,14 @@ import (
 // --- Messages ---
 
 // Heartbeat announces liveness and the sender's current epoch; a receiver
-// that sees a higher epoch asks for the committed view.
+// that sees a higher epoch asks for the committed view. ShardEpochs gossips
+// the sender's per-shard membership epoch vector (Config.Epochs) so a node
+// whose individual shards lag the cluster — invisible in the node-level
+// Epoch — can detect its own gap and fast-forward without an operator
+// (Config.OnPeerAhead). Empty when the host has no per-shard epochs.
 type Heartbeat struct {
-	Epoch uint32
+	Epoch       uint32
+	ShardEpochs []uint32
 }
 
 // ViewReq asks a more up-to-date peer for its committed view.
@@ -106,6 +111,14 @@ type Config struct {
 	OnView func(proto.View)
 	// OnLease is invoked when this node's operational status changes.
 	OnLease func(ok bool)
+	// Epochs, when set, supplies the host's per-shard membership epoch
+	// vector; it is attached to every outgoing heartbeat (epoch gossip).
+	Epochs func() []uint32
+	// OnPeerAhead is invoked when an incoming heartbeat's shard-epoch vector
+	// shows the sender strictly ahead of this host on some shard (compared
+	// against Epochs()). The hook owns debouncing and the actual
+	// fast-forward; the agent only detects the lag.
+	OnPeerAhead func(from proto.NodeID, epochs []uint32)
 }
 
 // instance is one single-decree Paxos consensus (deciding one epoch).
@@ -206,9 +219,13 @@ func (a *Agent) Tick() {
 	now := a.env.Now()
 	if now-a.lastBeat >= a.cfg.HeartbeatEvery {
 		a.lastBeat = now
+		hb := Heartbeat{Epoch: a.view.Epoch}
+		if a.cfg.Epochs != nil {
+			hb.ShardEpochs = a.cfg.Epochs()
+		}
 		for _, n := range a.cfg.All {
 			if n != a.id {
-				a.env.Send(n, Heartbeat{Epoch: a.view.Epoch})
+				a.env.Send(n, hb)
 			}
 		}
 	}
@@ -353,6 +370,23 @@ func (a *Agent) onHeartbeat(from proto.NodeID, hb Heartbeat) {
 	a.lastHeard[from] = a.env.Now()
 	if hb.Epoch > a.view.Epoch {
 		a.env.Send(from, ViewReq{})
+	}
+	if a.cfg.OnPeerAhead == nil || a.cfg.Epochs == nil || len(hb.ShardEpochs) == 0 {
+		return
+	}
+	// Per-shard lag detection: the node-level epoch check above cannot see a
+	// single shard stuck behind (the agent's view may match while a shard
+	// missed its install). Compare vectors elementwise; a peer ahead anywhere
+	// hands the whole vector to the hook.
+	mine := a.cfg.Epochs()
+	for i, e := range hb.ShardEpochs {
+		if i >= len(mine) {
+			break
+		}
+		if e > mine[i] {
+			a.cfg.OnPeerAhead(from, hb.ShardEpochs)
+			return
+		}
 	}
 }
 

@@ -357,6 +357,19 @@ type ViewLogResp struct {
 	Updates []MUpdate
 }
 
+// EpochGossip announces the sender's per-shard membership epoch vector
+// (Epochs[i] is shard i's current epoch). Nodes gossip it periodically on
+// the live mesh (wings tEpochGossip) and piggyback the same vector on
+// membership heartbeats; a receiver that sees a peer ahead of any of its
+// shards triggers its own view-log fast-forward — self-healing without an
+// operator or harness backstop. Like MUpdate this is node-level routing: it
+// never rides a shard envelope and never reaches a protocol state machine.
+// It is strictly advisory — a hostile or stale vector can at worst provoke a
+// ViewLogReq whose answer is verified by the normal install path.
+type EpochGossip struct {
+	Epochs []uint32
+}
+
 // ClientReq is one pipelined request of the client wire protocol — the
 // front-end traffic the server layer (internal/server) multiplexes onto the
 // shard engines. Seq is a session-scoped correlator chosen by the client:

@@ -118,6 +118,13 @@ type host struct {
 	// egress buffers coalescable messages per destination until the
 	// CoalesceWindow flush event ships them as one frame.
 	egress map[proto.NodeID]*egressQueue
+	// Clock skew: the time this host's protocol code observes is
+	// skewAccum + (engineNow - skewBase) * skewRate. Rate 1 is nominal;
+	// SetClockRate re-bases so perceived time stays continuous and (for
+	// positive rates) monotonic. Skew survives Restart — it models the
+	// hardware clock, not process state.
+	skewRate            float64
+	skewBase, skewAccum time.Duration
 }
 
 // egressQueue is one peer's pending coalesced messages.
@@ -139,7 +146,30 @@ type coalescedFrame struct {
 // reflect processing delay.
 type hostEnv struct{ h *host }
 
-func (e hostEnv) Now() time.Duration { return e.h.c.eng.Now() }
+func (e hostEnv) Now() time.Duration { return e.h.now() }
+
+// now is the host's skewed clock: everything the replica and membership
+// agent derive from Env.Now (MLT retransmit deadlines, lease windows,
+// heartbeat cadence) runs on this clock, while the network and engine keep
+// true time — so a fast clock retransmits early enough to race originals and
+// a slow clock strains the §8 loosely-synchronized-clock lease assumption.
+func (h *host) now() time.Duration {
+	now := h.c.eng.Now()
+	if h.skewRate == 1 {
+		return h.skewAccum + (now - h.skewBase)
+	}
+	return h.skewAccum + time.Duration(float64(now-h.skewBase)*h.skewRate)
+}
+
+// SetClockRate sets node id's clock rate (1.0 = nominal). The perceived
+// clock is re-based at the current instant, so it never jumps backward when
+// the rate changes.
+func (c *Cluster) SetClockRate(id proto.NodeID, rate float64) {
+	h := c.hosts[id]
+	h.skewAccum = h.now()
+	h.skewBase = c.eng.Now()
+	h.skewRate = rate
+}
 
 func (e hostEnv) Send(to proto.NodeID, msg any) {
 	c := e.h.c
@@ -223,6 +253,7 @@ func New(cfg Config) *Cluster {
 			busyUntil:  make([]time.Duration, cfg.Workers),
 			WorkerBusy: make([]time.Duration, cfg.Workers),
 			egress:     make(map[proto.NodeID]*egressQueue),
+			skewRate:   1,
 		}
 		env := hostEnv{h: h}
 		h.rep = cfg.Factory(id, c.view, env)
@@ -271,6 +302,23 @@ func (c *Cluster) newAgent(h *host, id proto.NodeID, initial proto.View) *member
 		OnLease: func(ok bool) {
 			if la, is := h.rep.(interface{ SetOperational(bool) }); is {
 				la.SetOperational(ok)
+			}
+		},
+		// Epoch gossip rides the heartbeats when the replica has per-shard
+		// epochs: the vector goes out with every beat, and a beat showing a
+		// peer ahead routes to the replica's own debounced fast-forward
+		// observer — self-healing through the membership plane.
+		Epochs: func() []uint32 {
+			if se, is := h.rep.(interface{ ShardEpochs() []uint32 }); is {
+				return se.ShardEpochs()
+			}
+			return nil
+		},
+		OnPeerAhead: func(from proto.NodeID, epochs []uint32) {
+			if ob, is := h.rep.(interface {
+				ObserveEpochGossip(proto.NodeID, []uint32)
+			}); is {
+				ob.ObserveEpochGossip(from, epochs)
 			}
 		},
 	})

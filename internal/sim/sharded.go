@@ -37,6 +37,22 @@ type ShardedReplica struct {
 	// ffServed counts view-log entries served to peers; ffApplied counts
 	// fetched entries whose replay actually advanced a local shard's epoch.
 	ffServed, ffApplied uint64
+
+	// Epoch-gossip self-healing state, the sim mirror of the live rollout
+	// controller's observer: cfg.GossipEvery paces the announcements,
+	// nextGossip/ffNotBefore are the send and debounce horizons, and
+	// candPeer/candEpoch hold the best fast-forward candidate (newest peer
+	// preferred) seen in the current debounce window.
+	cfg         ShardedReplicaConfig
+	nextGossip  time.Duration
+	ffNotBefore time.Duration
+	candPeer    proto.NodeID
+	candEpoch   uint32
+	haveCand    bool
+	// gossipSent counts vectors announced; gossipBehind counts observations
+	// showing a peer strictly ahead; gossipFF counts debounced fetches
+	// actually issued (the self-healing trigger firing).
+	gossipSent, gossipBehind, gossipFF uint64
 }
 
 // replicaViewLogCap bounds the retained log, mirroring membership.Agent's
@@ -53,6 +69,16 @@ type ShardedReplicaConfig struct {
 	// Learner starts every engine as a shadow replica (§3.4 Recovery) — the
 	// state a crashed node rejoins in.
 	Learner bool
+	// GossipEvery, when positive, announces this replica's per-shard epoch
+	// vector (proto.EpochGossip) to the members and learners of its newest
+	// known view on that period, from Tick — the sim counterpart of the live
+	// controller's gossip loop. A receiver that observes itself behind
+	// issues its own debounced view-log fetch: self-healing with no harness
+	// backstop.
+	GossipEvery time.Duration
+	// FFDebounce rate-limits gossip-triggered fetches (default
+	// 4 x GossipEvery).
+	FFDebounce time.Duration
 }
 
 // shardReplicaEnv is one engine's window to the host env: it tags outgoing
@@ -80,7 +106,7 @@ func NewShardedReplica(id proto.NodeID, view proto.View, env proto.Env, cfg Shar
 	if w < 1 {
 		w = 1
 	}
-	r := &ShardedReplica{id: id, w: w, env: env}
+	r := &ShardedReplica{id: id, w: w, env: env, cfg: cfg}
 	for i := 0; i < w; i++ {
 		r.engines = append(r.engines, core.New(core.Config{
 			ID: id, View: view.Clone(),
@@ -142,6 +168,8 @@ func (r *ShardedReplica) Deliver(from proto.NodeID, msg any) {
 			r.RecordView(mu)
 			r.applyMUpdate(mu)
 		}
+	case proto.EpochGossip:
+		r.ObserveEpochGossip(from, m.Epochs)
 	default:
 		r.engines[r.ownerOf(msg, 0)].Deliver(from, msg)
 	}
@@ -226,6 +254,119 @@ func (r *ShardedReplica) ownerOf(msg any, dflt uint16) uint16 {
 func (r *ShardedReplica) Tick() {
 	for _, e := range r.engines {
 		e.Tick()
+	}
+	if r.cfg.GossipEvery > 0 {
+		now := r.env.Now()
+		if now >= r.nextGossip {
+			r.nextGossip = now + r.cfg.GossipEvery
+			r.gossip()
+		}
+	}
+}
+
+// gossip announces this replica's per-shard epoch vector to the members and
+// learners of its newest known view (minus self) — the sim counterpart of
+// the live controller's gossip loop. Gossip is node-level routing: it is
+// sent bare, never shard-tagged.
+func (r *ShardedReplica) gossip() {
+	v := r.newestView()
+	eg := proto.EpochGossip{Epochs: r.ShardEpochs()}
+	for _, n := range v.Members {
+		if n != r.id {
+			r.gossipSent++
+			r.env.Send(n, eg)
+		}
+	}
+	for _, n := range v.Learners {
+		if n != r.id {
+			r.gossipSent++
+			r.env.Send(n, eg)
+		}
+	}
+}
+
+// newestView returns the highest-epoch view among the engines — the best
+// notion this node has of current membership (shards may differ mid-roll).
+func (r *ShardedReplica) newestView() proto.View {
+	best := r.engines[0].View()
+	for _, e := range r.engines[1:] {
+		if v := e.View(); v.Epoch > best.Epoch {
+			best = v
+		}
+	}
+	return best
+}
+
+// ObserveEpochGossip is the receive side of epoch gossip: if the peer's
+// vector is strictly ahead of any local shard, the peer becomes a
+// fast-forward candidate, and at most one view-log fetch fires per debounce
+// window — at the candidate advertising the highest epoch seen within it
+// (newest peer preferred). The same observer serves heartbeat-piggybacked
+// vectors (membership.Config.OnPeerAhead) and wire gossip frames. Advisory
+// only: the fetch's answer replays through the normal install path, so a
+// lying vector can waste one request, never corrupt state.
+func (r *ShardedReplica) ObserveEpochGossip(from proto.NodeID, epochs []uint32) {
+	local := r.ShardEpochs()
+	behind := false
+	var peerMax, localMax uint32
+	for _, e := range local {
+		if e > localMax {
+			localMax = e
+		}
+	}
+	for i, e := range epochs {
+		if e > peerMax {
+			peerMax = e
+		}
+		if i < len(local) && e > local[i] {
+			behind = true
+		}
+	}
+	if peerMax > localMax {
+		behind = true
+	}
+	if !behind {
+		return
+	}
+	r.gossipBehind++
+	if !r.haveCand || peerMax > r.candEpoch {
+		r.candPeer, r.candEpoch, r.haveCand = from, peerMax, true
+	}
+	now := r.env.Now()
+	if now < r.ffNotBefore {
+		return
+	}
+	debounce := r.cfg.FFDebounce
+	if debounce <= 0 {
+		debounce = 4 * r.cfg.GossipEvery
+	}
+	if debounce <= 0 {
+		debounce = 4 * time.Millisecond
+	}
+	r.ffNotBefore = now + debounce
+	peer := r.candPeer
+	r.haveCand, r.candEpoch = false, 0
+	r.gossipFF++
+	since := local[0]
+	for _, e := range local {
+		if e < since {
+			since = e
+		}
+	}
+	r.env.Send(peer, proto.ViewLogReq{Shard: proto.AllShards, Since: since})
+}
+
+// GossipStats reports the epoch-gossip counters: vectors announced, peer-
+// ahead observations, and debounced fetches issued.
+func (r *ShardedReplica) GossipStats() (sent, behind, ff uint64) {
+	return r.gossipSent, r.gossipBehind, r.gossipFF
+}
+
+// SetNoLSC flips §8 clock-free read mode on every engine at runtime (the
+// gate closes or reopens accordingly; queued speculative reads still drain).
+func (r *ShardedReplica) SetNoLSC(on bool) {
+	for _, e := range r.engines {
+		e.SetNoLSC(on)
 	}
 }
 

@@ -60,11 +60,13 @@ func isOneWay(m any) bool {
 		m = sm.Msg
 	}
 	switch m.(type) {
-	case core.VAL, proto.MUpdate:
-		// Both consume a credit and draw no response; without counting them
+	case core.VAL, proto.MUpdate, proto.EpochGossip:
+		// All consume a credit and draw no response; without counting them
 		// toward explicit grants each one would shrink the send window
 		// permanently (MUpdates are rare, but reconfiguration storms are
-		// exactly when the window must not erode).
+		// exactly when the window must not erode — and epoch gossip is
+		// periodic, so an eroding window would wedge the mesh in steady
+		// state).
 		return true
 	}
 	return false

@@ -18,7 +18,7 @@ func FuzzDecodeMsg(f *testing.F) {
 	wireTags := []uint8{
 		tINV, tACK, tVAL, tMCheck, tMCheckAck, tChunkReq, tChunkResp, tCredit,
 		tShard, tShardBatch, tMUpdate, tViewLogReq, tViewLogResp, tClientReq,
-		tClientResp,
+		tClientResp, tEpochGossip,
 	}
 	for _, tag := range wireTags {
 		f.Add(tag, []byte{})
@@ -58,6 +58,36 @@ func FuzzDecodeOne(f *testing.F) {
 	f.Add(hdr[:])
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		_, _ = DecodeOne(frame) // must not panic
+	})
+}
+
+// FuzzEpochGossipCount targets the tEpochGossip shard-count bound: a count
+// field claiming more epochs than the body holds must be rejected before the
+// preallocation, the tShardBatch/tViewLogResp discipline.
+func FuzzEpochGossipCount(f *testing.F) {
+	base, err := Encode(proto.EpochGossip{Epochs: []uint32{3, 3, 5}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(base, uint16(0xFFFF))
+	f.Fuzz(func(t *testing.T, frame []byte, count uint16) {
+		// Body starts at offset 11: [2B count][4B epoch each].
+		if len(frame) < 13 || frame[6] != tEpochGossip {
+			return
+		}
+		frame = append([]byte(nil), frame...)
+		binary.LittleEndian.PutUint16(frame[11:], count)
+		msg, err := DecodeOne(frame)
+		if err != nil {
+			return
+		}
+		eg, ok := msg.(proto.EpochGossip)
+		if !ok {
+			return
+		}
+		if len(eg.Epochs) != int(count) {
+			t.Fatalf("accepted EpochGossip with count %d but %d epochs", count, len(eg.Epochs))
+		}
 	})
 }
 

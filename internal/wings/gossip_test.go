@@ -1,0 +1,104 @@
+package wings
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// tEpochGossip arrives unsolicited from any mesh peer — the most exposed
+// position a frame can be in — so it gets the full hostile-input treatment:
+// round trips, lying counts, truncations, nesting rejection, bit flips.
+
+func TestEpochGossipRoundTrips(t *testing.T) {
+	msgs := []proto.EpochGossip{
+		// An empty vector is legal (a node with no shards up yet).
+		{},
+		{Epochs: []uint32{1}},
+		{Epochs: []uint32{4, 4, 7, 1}},
+		{Epochs: []uint32{0, ^uint32(0), 1 << 30}},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, m)
+		}
+	}
+}
+
+// gossipBody hand-builds a tEpochGossip payload with an arbitrary (possibly
+// lying) count over the given epoch words.
+func gossipBody(count uint16, epochs ...uint32) []byte {
+	b := binary.LittleEndian.AppendUint16(nil, count)
+	for _, e := range epochs {
+		b = binary.LittleEndian.AppendUint32(b, e)
+	}
+	return b
+}
+
+func TestEpochGossipHostileCounts(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		body []byte
+	}{
+		{"count with no epochs", gossipBody(0xFFFF)},
+		{"count beyond body", gossipBody(4, 1, 2)},
+		{"truncated epoch", gossipBody(1, 7)[:5]},
+		{"empty body", nil},
+		{"count only, one short", []byte{1}},
+	} {
+		if _, err := decodeMsg(tEpochGossip, tc.body); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("%s: err=%v, want unexpected EOF", tc.name, err)
+		}
+	}
+	if _, err := decodeMsg(tEpochGossip, gossipBody(2, 3, 9)); err != nil {
+		t.Fatalf("well-formed body rejected: %v", err)
+	}
+}
+
+// Epoch gossip is node-level routing, like MUpdate: a shard envelope around
+// it is always a corrupt or hostile stream.
+func TestEpochGossipNeverNestsInShardEnvelopes(t *testing.T) {
+	inner := proto.EpochGossip{Epochs: []uint32{2, 2}}
+	if _, err := Encode(proto.ShardMsg{Shard: 1, Msg: inner}); err == nil {
+		t.Fatal("encoder accepted EpochGossip inside ShardMsg")
+	}
+	if _, err := Encode(proto.ShardBatch{Msgs: []proto.ShardMsg{{Shard: 1, Msg: inner}}}); err == nil {
+		t.Fatal("encoder accepted EpochGossip inside ShardBatch")
+	}
+	// Craft the bytes a conforming encoder refuses to produce.
+	body, err := appendMsg(nil, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged := binary.LittleEndian.AppendUint16(nil, 1)
+	tagged = append(tagged, body...)
+	if _, err := decodeMsg(tShard, tagged); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("decoder on shard-tagged EpochGossip: err=%v, want ErrUnknownType", err)
+	}
+}
+
+// Random bytes and bit-flipped valid frames must never panic, and a decoded
+// result must never have been allocated from a hostile count.
+func TestEpochGossipDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(60221023))
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, rng.Intn(64))
+		rng.Read(buf)
+		_, _ = decodeMsg(tEpochGossip, buf)
+	}
+	valid, err := Encode(proto.EpochGossip{Epochs: []uint32{5, 6, 7, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		f := append([]byte(nil), valid...)
+		f[rng.Intn(len(f))] ^= 1 << uint(rng.Intn(8))
+		_, _ = DecodeOne(f)
+	}
+}

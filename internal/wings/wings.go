@@ -78,6 +78,14 @@ const (
 	// as tClientReq (a status outside the protocol's enum is a corrupt or
 	// hostile stream, not a value to hand to retry logic).
 	tClientResp
+	// tEpochGossip announces the sender's per-shard membership epoch vector
+	// (proto.EpochGossip): [2B count][4B epoch each]. The count is validated
+	// against the bytes present before any allocation, the tShardBatch
+	// discipline. Node-level routing like tMUpdate — never nests inside a
+	// shard envelope. Strictly advisory on receipt: a hostile vector can at
+	// worst provoke a view-log fetch whose answer the normal install path
+	// verifies.
+	tEpochGossip
 )
 
 // maxFrame bounds a frame's size (defense against corrupt streams).
@@ -119,6 +127,13 @@ func appendMsg(buf []byte, msg any) ([]byte, error) {
 	case core.ACK:
 		t = tACK
 		buf = appendEpochKeyTS(buf, m.Epoch, m.Key, m.TS)
+		buf = appendBool(buf, m.Higher)
+		if m.Higher {
+			buf = binary.LittleEndian.AppendUint32(buf, m.HTS.Version)
+			buf = binary.LittleEndian.AppendUint16(buf, m.HTS.CID)
+			buf = appendBool(buf, m.HRMW)
+			buf = appendBytes(buf, m.HVal)
+		}
 	case core.VAL:
 		t = tVAL
 		buf = appendEpochKeyTS(buf, m.Epoch, m.Key, m.TS)
@@ -207,6 +222,15 @@ func appendMsg(buf []byte, msg any) ([]byte, error) {
 		buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
 		buf = append(buf, byte(m.Status))
 		buf = appendBytes(buf, m.Value)
+	case proto.EpochGossip:
+		t = tEpochGossip
+		if len(m.Epochs) > 0xFFFF {
+			return nil, fmt.Errorf("wings: EpochGossip of %d shards", len(m.Epochs))
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Epochs)))
+		for _, e := range m.Epochs {
+			buf = binary.LittleEndian.AppendUint32(buf, e)
+		}
 	case proto.ViewLogResp:
 		t = tViewLogResp
 		if len(m.Updates) > 0xFFFF {
@@ -237,7 +261,7 @@ func appendMsg(buf []byte, msg any) ([]byte, error) {
 func nestedEnvelope(msg any) bool {
 	switch msg.(type) {
 	case proto.ShardMsg, proto.ShardBatch, proto.MUpdate, proto.ViewLogReq, proto.ViewLogResp,
-		proto.ClientReq, proto.ClientResp:
+		proto.EpochGossip, proto.ClientReq, proto.ClientResp:
 		return true
 	}
 	return false
@@ -401,7 +425,13 @@ func decodeMsg(t uint8, body []byte) (any, error) {
 		m.Value = r.bytes()
 		msg = m
 	case tACK:
-		msg = core.ACK{Epoch: r.u32(), Key: proto.Key(r.u64()), TS: r.ts()}
+		m := core.ACK{Epoch: r.u32(), Key: proto.Key(r.u64()), TS: r.ts()}
+		if m.Higher = r.boolv(); m.Higher {
+			m.HTS = r.ts()
+			m.HRMW = r.boolv()
+			m.HVal = r.bytes()
+		}
+		msg = m
 	case tVAL:
 		msg = core.VAL{Epoch: r.u32(), Key: proto.Key(r.u64()), TS: r.ts()}
 	case tMCheck:
@@ -446,6 +476,25 @@ func decodeMsg(t uint8, body []byte) (any, error) {
 		m.Value = r.bytes()
 		if r.err == nil && m.Status > proto.NotOperational {
 			return nil, ErrBadEnum
+		}
+		msg = m
+	case tEpochGossip:
+		count := int(r.u16())
+		if r.err != nil {
+			return nil, r.err
+		}
+		// Each epoch is 4 wire bytes; a count claiming more than the body
+		// holds is hostile and must not drive the preallocation. An empty
+		// vector is legal (a node with no shards up yet).
+		if count > (len(r.b)-r.off)/4 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		m := proto.EpochGossip{}
+		if count > 0 {
+			m.Epochs = make([]uint32, 0, count)
+		}
+		for i := 0; i < count && r.err == nil; i++ {
+			m.Epochs = append(m.Epochs, r.u32())
 		}
 		msg = m
 	case tViewLogResp:
@@ -522,7 +571,8 @@ func decodeTagged(r *reader) (proto.ShardMsg, error) {
 	// node-level routing, and the client session pair never rides the mesh:
 	// shard-tagged ones are equally hostile.
 	if it == tShard || it == tShardBatch || it == tCredit || it == tMUpdate ||
-		it == tViewLogReq || it == tViewLogResp || it == tClientReq || it == tClientResp {
+		it == tViewLogReq || it == tViewLogResp || it == tClientReq || it == tClientResp ||
+		it == tEpochGossip {
 		return proto.ShardMsg{}, ErrUnknownType
 	}
 	n := int(binary.LittleEndian.Uint32(r.b[r.off+1:]))

@@ -32,6 +32,8 @@ func sampleMessages() []any {
 	return []any{
 		core.INV{Epoch: 3, Key: 42, TS: proto.TS{Version: 9, CID: 2}, Value: proto.Value("hello"), RMW: true},
 		core.ACK{Epoch: 7, Key: 1, TS: proto.TS{Version: 4, CID: 1}},
+		core.ACK{Epoch: 7, Key: 1, TS: proto.TS{Version: 4, CID: 1},
+			Higher: true, HTS: proto.TS{Version: 6, CID: 2}, HVal: proto.Value("rival"), HRMW: true},
 		core.VAL{Epoch: 2, Key: 99, TS: proto.TS{Version: 8, CID: 3}},
 		core.MCheck{Epoch: 5, Seq: 11},
 		core.ChunkResp{Epoch: 1, Cursor: 514, Done: true,
@@ -39,6 +41,7 @@ func sampleMessages() []any {
 			Recs: []core.ChunkRec{{TS: proto.TS{Version: 2}, Value: proto.Value("a")}}},
 		proto.MUpdate{Shard: 2, View: proto.View{Epoch: 9,
 			Members: []proto.NodeID{0, 1, 2}, Learners: []proto.NodeID{4}}},
+		proto.EpochGossip{Epochs: []uint32{4, 4, 7, 1}},
 	}
 }
 
@@ -47,6 +50,10 @@ func TestCodecRoundTrips(t *testing.T) {
 		core.INV{Epoch: 3, Key: 42, TS: proto.TS{Version: 9, CID: 2}, Value: proto.Value("hello"), RMW: true},
 		core.INV{Epoch: 1, Key: 0, TS: proto.TS{}, Value: nil},
 		core.ACK{Epoch: 7, Key: 1, TS: proto.TS{Version: 4, CID: 1}},
+		// A teaching ACK (ACK-without-apply): the payload carrying the
+		// acker's outranking entry must survive the wire bit-exact.
+		core.ACK{Epoch: 7, Key: 1, TS: proto.TS{Version: 4, CID: 1},
+			Higher: true, HTS: proto.TS{Version: 6, CID: 2}, HVal: proto.Value("rival"), HRMW: true},
 		core.VAL{Epoch: 2, Key: 99, TS: proto.TS{Version: 8, CID: 3}},
 		core.MCheck{Epoch: 5, Seq: 11},
 		core.MCheckAck{Epoch: 5, Seq: 11},
