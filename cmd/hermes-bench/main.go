@@ -8,7 +8,7 @@
 //	hermes-bench -exp fig9 -quick    # reduced scale
 //
 // Experiments: fig5a fig5b fig6a fig6b fig6c fig7 fig8 fig9 table2 shards
-// reads reconfig clients gray ablation-o1 ablation-o2 ablation-o3
+// reads reconfig clients gray values ablation-o1 ablation-o2 ablation-o3
 // ablation-nolsc
 package main
 
@@ -65,6 +65,8 @@ func main() {
 			func() fmt.Stringer { return bench.Clients(sc) }},
 		{"gray", "Gray failures on the chaos harness: asym partitions, slow-but-alive, clock skew, burst reorder, epoch-gossip healing",
 			func() fmt.Stringer { return bench.Gray(sc) }},
+		{"values", "Zero-copy value path: allocs/op + ops/s for INV adoption, retained reads and response encode; writes " + bench.ValuesJSON,
+			func() fmt.Stringer { return bench.Values(sc) }},
 		{"ablation-o1", "O1: VAL elision savings (paper §3.3)",
 			func() fmt.Stringer { return bench.AblationO1(sc) }},
 		{"ablation-o2", "O2: virtual node ID fairness (paper §3.3)",

@@ -1,7 +1,7 @@
 // Package analysis is hermes-vet: a suite of static analyzers that turn the
 // repository's protocol invariants — conventions that previously lived only
 // in comments and were enforced only by after-the-fact tests — into
-// build-breaking checks. The five analyzers are:
+// build-breaking checks. The six analyzers are:
 //
 //   - eventloop: code reachable from protocol message handlers and the live
 //     runtime's event-loop callbacks must never block (PR 6's "only enqueue"
@@ -17,6 +17,10 @@
 //     must not consult wall clocks, global randomness, or unordered map
 //     iteration for decisions that feed the network schedule (the PR 4
 //     map-order retransmission bug).
+//   - bufown: values that may alias pooled refcounted frame buffers
+//     (structs carrying an Owner *refbuf.Buf) must not escape into
+//     owner-less destinations without a clone, and adopting literals must
+//     carry the owner (PR 9's zero-copy value path).
 //
 // The suite is deliberately built on the standard library only (go/ast,
 // go/types, `go list -export`): the container that grows this repo has no
@@ -237,5 +241,6 @@ func All() []*Analyzer {
 		WingsCodecAnalyzer,
 		ExhaustiveAnalyzer,
 		DeterminismAnalyzer,
+		BufOwnAnalyzer,
 	}
 }

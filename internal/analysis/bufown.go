@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BufOwnAnalyzer enforces the pooled-buffer ownership discipline of the
+// zero-copy value path (internal/refbuf). A struct carrying both a Value
+// field and an `Owner *refbuf.Buf` field — core.INV, kvs.Entry — holds a
+// value that may alias a pooled wire-frame buffer, alive only while its
+// refcount is. Lexically copying such a Value out of its owner's side is the
+// exact shape of both aliasing bugs this rule post-dates (the chunk-transfer
+// ChunkRec and the server response escape): once the entry is replaced, the
+// pool recycles the frame and the escaped slice reads another frame's bytes.
+//
+// Two findings:
+//
+//  1. escape: `T{..., F: x.Value, ...}` or `y.F = x.Value` where x's type is
+//     owner-bearing and T (resp. y's type) is not. The value must be cloned
+//     (any call wrapping it — x.Value.Clone(), safeVal(x) — satisfies the
+//     rule lexically) or the destination must carry the owner.
+//  2. dropped owner: an owner-bearing composite literal that takes
+//     `Value: x.Value` from an owner-bearing source without also setting
+//     Owner — an adoption that silently forgets the reference it must hold.
+//
+// The check is lexical and package-local by design: it cannot see a clone
+// behind a helper call (which is why any wrapping call passes), but the two
+// historical bugs — and every site the refactor audited — are bare selector
+// copies, which it flags with no false positives across the repository.
+var BufOwnAnalyzer = &Analyzer{
+	Name: "bufown",
+	Doc:  "values aliasing pooled frame buffers must not escape their owner: clone at the boundary or carry the Owner reference",
+	Run:  runBufOwn,
+}
+
+func runBufOwn(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkBufOwnLit(pass, n)
+			case *ast.AssignStmt:
+				checkBufOwnAssign(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// ownerBearing reports whether t (through pointers and aliases) is a struct
+// type with a Value field and an Owner field of type *refbuf.Buf.
+func ownerBearing(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	hasValue, hasOwner := false, false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch f.Name() {
+		case "Value":
+			hasValue = true
+		case "Owner":
+			hasOwner = isRefbufPtr(f.Type())
+		}
+	}
+	return hasValue && hasOwner
+}
+
+// isRefbufPtr reports whether t is a pointer to refbuf.Buf (matched by
+// name so the golden module's stand-in package qualifies too).
+func isRefbufPtr(t types.Type) bool {
+	p, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := types.Unalias(p.Elem()).(*types.Named)
+	if !ok {
+		return false
+	}
+	o := n.Obj()
+	return o.Name() == "Buf" && o.Pkg() != nil && o.Pkg().Name() == "refbuf"
+}
+
+// ownedValueSel reports whether e is a bare `x.Value` selector on an
+// owner-bearing x. Any wrapping call — x.Value.Clone(), safeVal(x) — makes
+// the expression a CallExpr and passes the rule.
+func ownedValueSel(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Value" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return ownerBearing(tv.Type)
+}
+
+// typeName renders t's named type for diagnostics ("kvs.Entry", "ChunkRec").
+func typeName(t types.Type) string {
+	if n := namedOf(t); n != nil {
+		if n.Obj().Pkg() != nil {
+			return n.Obj().Pkg().Name() + "." + n.Obj().Name()
+		}
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+func checkBufOwnLit(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return
+	}
+	target := tv.Type
+	targetOwned := ownerBearing(target)
+	setsOwner := false
+	var valueFrom ast.Expr
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if key.Name == "Owner" {
+			setsOwner = true
+		}
+		if !ownedValueSel(pass.Info, kv.Value) {
+			continue
+		}
+		if targetOwned {
+			if key.Name == "Value" {
+				valueFrom = kv.Value
+			}
+			continue
+		}
+		pass.Reportf(kv.Value.Pos(),
+			"value aliasing a pooled frame buffer escapes into %s, which carries no owner: Clone() it at the boundary or give the destination the Owner reference",
+			typeName(target))
+	}
+	if valueFrom != nil && !setsOwner {
+		pass.Reportf(valueFrom.Pos(),
+			"%s adopts a possibly pooled value but drops its owner: set Owner alongside Value (or Clone() the value)",
+			typeName(target))
+	}
+}
+
+func checkBufOwnAssign(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if !ownedValueSel(pass.Info, rhs) {
+			continue
+		}
+		// Only field stores escape: a local `v := e.Value` stays inside the
+		// event-loop turn and is the legitimate working idiom.
+		lhs, ok := ast.Unparen(as.Lhs[i]).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.Info.Types[lhs.X]
+		if !ok || ownerBearing(tv.Type) {
+			continue
+		}
+		pass.Reportf(rhs.Pos(),
+			"value aliasing a pooled frame buffer is stored into a field of %s, which carries no owner: Clone() it at the boundary",
+			typeName(tv.Type))
+	}
+}

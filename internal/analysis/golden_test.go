@@ -32,6 +32,10 @@ func TestDeterminismGolden(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.DeterminismAnalyzer, "./determinism/...")
 }
 
+func TestBufOwnGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.BufOwnAnalyzer, "./bufown/...")
+}
+
 func TestAllAnalyzersDistinct(t *testing.T) {
 	seen := map[string]bool{}
 	for _, a := range analysis.All() {
@@ -43,7 +47,7 @@ func TestAllAnalyzersDistinct(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 5 {
-		t.Fatalf("expected 5 analyzers, got %d", len(seen))
+	if len(seen) != 6 {
+		t.Fatalf("expected 6 analyzers, got %d", len(seen))
 	}
 }

@@ -1,0 +1,13 @@
+// Package refbuf is the golden stand-in for the repository's refcounted
+// buffer package: bufown matches the Owner field's type by package and type
+// name, so this minimal shape is all the analyzer needs.
+package refbuf
+
+// Buf is a refcounted pooled buffer.
+type Buf struct{ refs int32 }
+
+// Retain adds a reference.
+func (b *Buf) Retain() { b.refs++ }
+
+// Release drops one.
+func (b *Buf) Release() { b.refs-- }

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kvs"
+	"repro/internal/proto"
+	"repro/internal/refbuf"
+	"repro/internal/stats"
+	"repro/internal/wings"
+)
+
+// ValuesJSON is the file Values writes next to the working directory; the CI
+// bench-smoke step uploads it so the value-path perf trajectory (allocs/op,
+// ops/s) is recorded per commit instead of scrolling away in build logs.
+const ValuesJSON = "BENCH_values.json"
+
+// ValuesResult carries the printed table plus the machine-readable report.
+type ValuesResult struct {
+	Table  *stats.Table
+	Report ValuesReport
+	// JSONErr is non-nil when writing ValuesJSON failed (the measurement
+	// itself still stands; String mentions the failure instead of the path).
+	JSONErr error
+}
+
+// ValuesReport is the schema of BENCH_values.json.
+type ValuesReport struct {
+	Experiment string        `json:"experiment"`
+	Points     []ValuesPoint `json:"points"`
+}
+
+// ValuesPoint is one measured stage of the zero-copy value path.
+type ValuesPoint struct {
+	Name        string  `json:"name"`
+	ValueBytes  int     `json:"value_bytes"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+func (r *ValuesResult) String() string {
+	s := r.Table.String()
+	if r.JSONErr != nil {
+		return s + fmt.Sprintf("\n(failed to write %s: %v)", ValuesJSON, r.JSONErr)
+	}
+	return s + fmt.Sprintf("\n(wrote %s)", ValuesJSON)
+}
+
+// Values measures the zero-copy wire-to-store value path stage by stage:
+// owner-backed INV adoption (decode→applyINV→RCU store swap), the retained
+// read pin/release protocol, and the client-response frame encoder. The
+// numbers to watch are allocs/op — adoption and encode must be constant
+// across a 128× value-size spread (a copy anywhere in the path shows up as
+// size-dependent allocations) and the retained read must be allocation-free.
+func Values(sc Scale) *ValuesResult {
+	// Scale controls only the size sweep: the quick smoke keeps the two
+	// sizes the acceptance criterion compares; the full run adds the
+	// in-between and a jumbo point for the trajectory record.
+	sizes := []int{32, 4096}
+	if sc.Duration > QuickScale().Duration {
+		sizes = []int{32, 512, 4096, 65536}
+	}
+
+	rep := ValuesReport{Experiment: "values"}
+	for _, size := range sizes {
+		rep.Points = append(rep.Points, point(fmt.Sprintf("inv-adopt/%s", sizeLabel(size)), size, benchAdopt(size)))
+	}
+	rep.Points = append(rep.Points,
+		point("read-retained/4KiB", 4096, benchRetainedRead(4096)),
+		point("resp-encode/16x64B", 64, benchRespEncode(16, 64)),
+	)
+
+	tb := &stats.Table{Header: []string{"stage", "value B", "allocs/op", "B/op", "ns/op", "Mops/s"}}
+	for _, p := range rep.Points {
+		tb.AddRow(p.Name, p.ValueBytes, p.AllocsPerOp, p.BytesPerOp, fmt.Sprintf("%.0f", p.NsPerOp), Mops(p.OpsPerSec))
+	}
+
+	out := &ValuesResult{Table: tb, Report: rep}
+	if data, err := json.MarshalIndent(rep, "", "  "); err != nil {
+		out.JSONErr = err
+	} else {
+		out.JSONErr = os.WriteFile(ValuesJSON, append(data, '\n'), 0o644)
+	}
+	return out
+}
+
+func sizeLabel(n int) string {
+	if n >= 1024 {
+		return fmt.Sprintf("%dKiB", n/1024)
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+func point(name string, size int, r testing.BenchmarkResult) ValuesPoint {
+	ns := float64(r.T) / float64(r.N)
+	ops := 0.0
+	if ns > 0 {
+		ops = float64(time.Second) / ns
+	}
+	return ValuesPoint{
+		Name:        name,
+		ValueBytes:  size,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		NsPerOp:     ns,
+		OpsPerSec:   ops,
+	}
+}
+
+// dropEnv is the no-op harness for a bench replica: ACKs and completions are
+// measured elsewhere; here only the receive path is under the timer.
+type dropEnv struct{}
+
+func (dropEnv) Now() time.Duration        { return 0 }
+func (dropEnv) Send(proto.NodeID, any)    {}
+func (dropEnv) Complete(proto.Completion) {}
+
+func benchFollower(st *kvs.Store) *core.Hermes {
+	return core.New(core.Config{
+		ID: 1, View: proto.View{Epoch: 1, Members: []proto.NodeID{0, 1, 2}},
+		Env: dropEnv{}, Store: st,
+	})
+}
+
+// benchAdopt times the follower's owner-backed INV receive end to end: frame
+// sub-slice in, RCU entry swap, predecessor frame released to the pool.
+func benchAdopt(size int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		st := kvs.New(16)
+		h := benchFollower(st)
+		pool := refbuf.NewPool()
+		val := bytes.Repeat([]byte{0xAB}, size)
+		version := uint32(0)
+		deliver := func() {
+			version += 2
+			fb := pool.Get(size)
+			bb := fb.Bytes()
+			copy(bb, val)
+			h.Deliver(0, core.INV{
+				Epoch: 1, Key: 13, TS: proto.TS{Version: version},
+				Value: proto.Value(bb[0:size:size]), Owner: fb,
+			})
+		}
+		for i := 0; i < 16; i++ {
+			deliver()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			deliver()
+		}
+	})
+}
+
+// benchRetainedRead times the GetRetained pin protocol against an
+// owner-backed entry: TryRetain, pointer recheck, release. Zero allocs.
+func benchRetainedRead(size int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		st := kvs.New(16)
+		pool := refbuf.NewPool()
+		fb := pool.Get(size)
+		st.Update(5, kvs.Entry{
+			Value: proto.Value(fb.Bytes()[0:size:size]),
+			TS:    proto.TS{Version: 2}, State: kvs.Valid, Owner: fb,
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, ok := st.GetRetained(5)
+			if !ok {
+				b.Fatal("lost the entry")
+			}
+			e.Owner.Release()
+		}
+	})
+}
+
+// benchRespEncode times the monomorphic client-response frame encoder over a
+// warm buffer: the server flush loop's steady state. Zero allocs.
+func benchRespEncode(n, size int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		val := bytes.Repeat([]byte{0xCD}, size)
+		resps := make([]proto.ClientResp, n)
+		for i := range resps {
+			resps[i] = proto.ClientResp{Seq: uint64(i), Status: proto.OK, Value: val}
+		}
+		buf := make([]byte, 0, 1<<16)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = wings.AppendClientResps(buf[:0], resps)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestValuesReportAndJSON runs the values experiment at quick scale in a
+// temp directory and checks the two properties the trajectory record exists
+// to pin: INV adoption allocs/op are identical at 32B and 4KiB (a copy in
+// the path would scale them), and BENCH_values.json round-trips.
+func TestValuesReportAndJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs testing.Benchmark loops; skipped in -short/race CI lanes")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	r := Values(QuickScale())
+	if r.JSONErr != nil {
+		t.Fatalf("writing %s: %v", ValuesJSON, r.JSONErr)
+	}
+	byName := map[string]ValuesPoint{}
+	for _, p := range r.Report.Points {
+		if p.OpsPerSec <= 0 {
+			t.Fatalf("point %s measured no throughput: %+v", p.Name, p)
+		}
+		byName[p.Name] = p
+	}
+	small, large := byName["inv-adopt/32B"], byName["inv-adopt/4KiB"]
+	if small.Name == "" || large.Name == "" {
+		t.Fatalf("missing adopt points in %+v", r.Report.Points)
+	}
+	if small.AllocsPerOp != large.AllocsPerOp {
+		t.Fatalf("adopt allocs scale with value size: %d at 32B vs %d at 4KiB",
+			small.AllocsPerOp, large.AllocsPerOp)
+	}
+	for _, name := range []string{"read-retained/4KiB", "resp-encode/16x64B"} {
+		if p := byName[name]; p.AllocsPerOp != 0 {
+			t.Fatalf("%s allocates %d/op; want 0", name, p.AllocsPerOp)
+		}
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, ValuesJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ValuesReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal %s: %v", ValuesJSON, err)
+	}
+	if back.Experiment != "values" || len(back.Points) != len(r.Report.Points) {
+		t.Fatalf("JSON round-trip mismatch: %+v", back)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kvs"
 	"repro/internal/proto"
+	"repro/internal/refbuf"
 )
 
 // Transport delivers messages between replica processes.
@@ -246,6 +247,9 @@ func NewNode(cfg NodeConfig, tr Transport) *Node {
 		select {
 		case n.msgs <- env{from: from, msg: msg}:
 		case <-n.stop:
+			// Dropped on shutdown: spend the frame references wings decode
+			// retained for the message's values, like any other drop path.
+			core.ReleaseMsgOwners(msg)
 		}
 	})
 	n.wg.Add(1)
@@ -459,6 +463,14 @@ func (n *Node) do(ctx context.Context, op proto.ClientOp) (proto.Completion, err
 // goroutines so wire reads keep the §4.1 fast path end to end.
 func (n *Node) ReadLocal(key proto.Key) (proto.Value, bool) {
 	return n.h.ReadLocal(key)
+}
+
+// ReadLocalRetained is ReadLocal minus the defensive copy: a non-nil owner
+// pins the pooled frame buffer the value aliases, and the caller must
+// Release it after the bytes' last use (the serving layer holds the pin
+// across its response-encode flush). See core.Hermes.ReadLocalRetained.
+func (n *Node) ReadLocalRetained(key proto.Key) (proto.Value, *refbuf.Buf, bool) {
+	return n.h.ReadLocalRetained(key)
 }
 
 // SubmitAsync submits op to the event loop and invokes fn with its

@@ -64,7 +64,7 @@ func TestCoalescerGathersWhileSendInFlight(t *testing.T) {
 		return proto.ShardMsg{Shard: shard, Msg: core.ACK{Epoch: 1, Key: key, TS: proto.TS{Version: 1}}}
 	}
 
-	co := sn.coalescerFor(coalKey{to: 1, response: true}) // ACKs are responses
+	co := sn.coalescerFor(coalKey{to: 1, class: classResponse}) // ACKs are responses
 	co.enqueue(ack(0, 10))
 	// Wait until the flusher is inside Send (blocked on the gate) so the
 	// next three enqueues cannot race ahead of it.
@@ -167,6 +167,98 @@ func TestCoalescerSeparatesCreditClasses(t *testing.T) {
 			}
 			acks += frameACKs
 			vals += frameVALs
+		}
+	}
+}
+
+// TestCoalescerBudgetsRequestBatches drives the request-class (INV)
+// coalescer with value-bearing messages and checks the byte budget: a
+// backlog flushes as several frames none of which exceeds maxBatchBytes,
+// while an INV too big for the budget on its own still ships (alone) rather
+// than wedging the flusher.
+func TestCoalescerBudgetsRequestBatches(t *testing.T) {
+	inv := func(key proto.Key, valLen int) proto.ShardMsg {
+		return proto.ShardMsg{Shard: 0, Msg: core.INV{
+			Epoch: 1, Key: key, TS: proto.TS{Version: 1},
+			Value: make(proto.Value, valLen),
+		}}
+	}
+	if classOf(inv(0, 8).Msg) != classRequest {
+		t.Fatal("INVs must coalesce in the request class")
+	}
+
+	gate := make(chan struct{})
+	tr := &gateTransport{gate: gate, sendC: make(chan struct{}, 1)}
+	sn := NewShardedNode(ShardedConfig{
+		ID: 0, View: proto.View{Epoch: 1, Members: []proto.NodeID{0, 1}},
+		Shards: 4,
+	}, tr)
+	defer sn.Close()
+
+	co := sn.coalescerFor(coalKey{to: 1, class: classRequest})
+	co.enqueue(inv(1, 16)) // admits the flusher into the gated Send
+	select {
+	case <-tr.sendC:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flusher never reached the transport")
+	}
+	// 5 × (32 + 20KiB) piles up behind the gate: over the 64 KiB budget, so
+	// the backlog must split — 3 fit, the next would overflow.
+	const val = 20 << 10
+	for i := proto.Key(2); i <= 6; i++ {
+		co.enqueue(inv(i, val))
+	}
+	// Two INVs each individually over the budget: the i>0 guard must let
+	// every one ship alone instead of cutting to an empty batch.
+	const jumbo = 80 << 10
+	co.enqueue(inv(7, jumbo))
+	co.enqueue(inv(8, jumbo))
+	close(gate)
+
+	deadline := time.After(5 * time.Second)
+	for len(tr.msgs()) < 5 {
+		select {
+		case <-deadline:
+			t.Fatalf("coalescer shipped %d frames, want 5: %#v", len(tr.msgs()), tr.msgs())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	sent := tr.msgs()
+	if len(sent) != 5 {
+		t.Fatalf("got %d frames, want 5", len(sent))
+	}
+	sizeOf := func(m any) (n, msgs int) {
+		switch f := m.(type) {
+		case proto.ShardBatch:
+			for _, sm := range f.Msgs {
+				n += shardMsgSize(sm)
+			}
+			return n, len(f.Msgs)
+		case proto.ShardMsg:
+			return shardMsgSize(f), 1
+		}
+		t.Fatalf("unexpected frame %T", m)
+		return 0, 0
+	}
+	// Frame 0: the lone opener. Frames 1–2: the 20 KiB backlog split 3+2.
+	// Frames 3–4: each jumbo alone.
+	wantMsgs := []int{1, 3, 2, 1, 1}
+	for i, m := range sent {
+		n, msgs := sizeOf(m)
+		if msgs != wantMsgs[i] {
+			t.Fatalf("frame %d carries %d messages, want %d", i, msgs, wantMsgs[i])
+		}
+		if msgs > 1 && n > maxBatchBytes {
+			t.Fatalf("frame %d: %d bytes exceeds the %d budget", i, n, maxBatchBytes)
+		}
+	}
+	for _, i := range []int{3, 4} {
+		sm, ok := sent[i].(proto.ShardMsg)
+		if !ok {
+			t.Fatalf("jumbo frame %d is %T, want a lone ShardMsg", i, sent[i])
+		}
+		if n := shardMsgSize(sm); n <= maxBatchBytes {
+			t.Fatalf("jumbo frame %d is %d bytes; test lost its premise", i, n)
 		}
 	}
 }

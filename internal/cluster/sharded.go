@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/proto"
+	"repro/internal/refbuf"
 )
 
 // ShardedNode is the multi-worker protocol engine of HermesKV (paper §4.1):
@@ -136,11 +137,11 @@ func (t *shardTransport) Send(from, to proto.NodeID, msg any) {
 	}
 	sm := proto.ShardMsg{Shard: t.idx, Msg: msg}
 	if core.Coalescable(msg) {
-		// Small fixed-size messages are the coalescing targets: at W shards
-		// they dominate the frame rate, and no protocol property depends on
+		// Small messages are the coalescing targets: at W shards they
+		// dominate the frame rate, and no protocol property depends on
 		// their ordering relative to the direct path (links are lossy and
 		// reordering anyway).
-		k := coalKey{to: to, response: core.IsResponseMsg(msg)}
+		k := coalKey{to: to, class: classOf(msg)}
 		p := t.coalCache[k]
 		if p == nil {
 			p = t.sn.coalescerFor(k)
@@ -161,21 +162,65 @@ func (t *shardTransport) SetDeliver(id proto.NodeID, fn func(from proto.NodeID, 
 
 func (t *shardTransport) Close() error { return nil }
 
+// msgClass is the flow-control class of a coalesced message; one coalescer
+// carries exactly one class, because the classes settle credits differently
+// and a mixed batch would have no coherent price.
+type msgClass uint8
+
+const (
+	// classResponse: ACKs. A homogeneous response batch consumes no send
+	// credit, so ACK egress — the traffic that repays the peer's credits —
+	// can never block behind a credit-starved batch of another class (mixing
+	// could deadlock two mutually starved peers whose repayments sit queued
+	// behind their own blocked flushers).
+	classResponse msgClass = iota
+	// classOneWay: VALs. One credit per frame, repaid by the receiver's
+	// explicit grants counting the batch once.
+	classOneWay
+	// classRequest: INVs. One credit per inner message (wings prices the
+	// batch via LinkConfig.CreditCost), each repaid implicitly by its ACK.
+	// Request batches are additionally size-budgeted: INVs carry values, and
+	// an unbounded batch would turn the per-frame flush into a latency cliff.
+	classRequest
+)
+
+func classOf(msg any) msgClass {
+	if core.IsResponseMsg(msg) {
+		return classResponse
+	}
+	if _, ok := msg.(core.INV); ok {
+		return classRequest
+	}
+	return classOneWay
+}
+
 // coalKey identifies one egress coalescer: the destination peer and the
-// flow-control class of what it carries. Responses (ACKs) and
-// credit-consuming messages (VALs) never share a batch or a flusher: a
-// homogeneous all-response batch consumes no send credit, so ACK egress —
-// the traffic that repays the peer's credits — can never block behind a
-// credit-starved VAL batch. Mixing them could deadlock two mutually starved
-// peers whose repayments sit queued behind their own blocked flushers.
+// flow-control class of what it carries.
 type coalKey struct {
-	to       proto.NodeID
-	response bool
+	to    proto.NodeID
+	class msgClass
 }
 
 // maxBatchMsgs caps one ShardBatch at the codec's 2-byte count; a fuller
 // buffer flushes as several frames.
 const maxBatchMsgs = 0xFFFF
+
+// maxBatchBytes budgets one request-class (INV) batch frame. INVs carry
+// values, so unlike the fixed-size ACK/VAL batches their frames can grow
+// arbitrarily; past the budget the buffer flushes as several frames, keeping
+// per-frame encode-and-write latency bounded while still amortizing the
+// framing and credit overhead. A single oversized INV still ships alone.
+const maxBatchBytes = 64 << 10
+
+// shardMsgSize estimates one coalesced message's wire footprint for the
+// request-class byte budget: fixed header plus the value an INV carries.
+func shardMsgSize(sm proto.ShardMsg) int {
+	const overhead = 32
+	if inv, ok := sm.Msg.(core.INV); ok {
+		return overhead + len(inv.Value)
+	}
+	return overhead
+}
 
 // maxCoalesceBuf bounds one coalescer's queue. Enqueue never blocks the
 // shard engines, so when the flusher is stalled (a credit-starved peer) the
@@ -192,8 +237,9 @@ const maxCoalesceBuf = 1 << 16
 // messages pile into buf and ship together — latency is never traded for
 // batch size.
 type peerCoalescer struct {
-	sn *ShardedNode
-	to proto.NodeID
+	sn    *ShardedNode
+	to    proto.NodeID
+	class msgClass
 
 	mu       sync.Mutex
 	buf      []proto.ShardMsg
@@ -223,12 +269,25 @@ func (p *peerCoalescer) flushLoop() {
 			p.mu.Unlock()
 			return
 		}
-		batch := p.buf
-		if len(batch) > maxBatchMsgs {
-			batch = batch[:maxBatchMsgs]
-			p.buf = p.buf[maxBatchMsgs:]
-		} else {
+		cut := len(p.buf)
+		if cut > maxBatchMsgs {
+			cut = maxBatchMsgs
+		}
+		if p.class == classRequest {
+			size := 0
+			for i := 0; i < cut; i++ {
+				size += shardMsgSize(p.buf[i])
+				if size > maxBatchBytes && i > 0 {
+					cut = i
+					break
+				}
+			}
+		}
+		batch := p.buf[:cut]
+		if cut == len(p.buf) {
 			p.buf = nil
+		} else {
+			p.buf = p.buf[cut:]
 		}
 		p.mu.Unlock()
 
@@ -254,7 +313,7 @@ func (sn *ShardedNode) coalescerFor(k coalKey) *peerCoalescer {
 	defer sn.coalMu.Unlock()
 	p := sn.coal[k]
 	if p == nil {
-		p = &peerCoalescer{sn: sn, to: k.to}
+		p = &peerCoalescer{sn: sn, to: k.to, class: k.class}
 		sn.coal[k] = p
 	}
 	return p
@@ -387,7 +446,11 @@ func (sn *ShardedNode) RequestViewLog(peer proto.NodeID, req proto.ViewLogReq) {
 func (sn *ShardedNode) dispatchTagged(from proto.NodeID, sm proto.ShardMsg) {
 	if int(sm.Shard) < sn.w && sn.ownerOf(sm.Msg, sm.Shard) == sm.Shard {
 		sn.deliver[sm.Shard](from, sm.Msg)
+		return
 	}
+	// Mis-tagged drop (W mismatch): spend the frame references wings decode
+	// retained for the message's values, like every other drop path.
+	core.ReleaseMsgOwners(sm.Msg)
 }
 
 // ownerOf maps a protocol message to the shard owning it locally.
@@ -435,6 +498,12 @@ func (sn *ShardedNode) Read(ctx context.Context, key proto.Key) (proto.Value, er
 // store segment on the caller's goroutine; see Node.ReadLocal.
 func (sn *ShardedNode) ReadLocal(key proto.Key) (proto.Value, bool) {
 	return sn.shardFor(key).ReadLocal(key)
+}
+
+// ReadLocalRetained is ReadLocal minus the defensive copy; see
+// Node.ReadLocalRetained for the pin contract.
+func (sn *ShardedNode) ReadLocalRetained(key proto.Key) (proto.Value, *refbuf.Buf, bool) {
+	return sn.shardFor(key).ReadLocalRetained(key)
 }
 
 // SubmitAsync routes op to its owning shard's event loop and invokes fn with

@@ -120,6 +120,11 @@ type Hermes struct {
 	cidOwner   func(uint16) proto.NodeID
 	virtualIDs []uint16
 
+	// wset caches h.view.WriteSet(h.id), recomputed on every view install:
+	// the write hot path consults it once per INV/ACK/VAL broadcast and per
+	// received ACK, and WriteSet allocates on each call.
+	wset []proto.NodeID
+
 	// §8 clock-free read validation state.
 	specReads []specRead
 	checkSeq  uint64
@@ -153,6 +158,16 @@ type keyMeta struct {
 	ackers map[proto.NodeID]bool
 }
 
+// nodeSet is an allocation-free set of node IDs (the ID space is 8-bit).
+// pending embeds one per update instead of a map: the write hot path resets
+// and repopulates it once per INV round, and a map there costs an allocation
+// per write.
+type nodeSet [4]uint64
+
+func (s *nodeSet) add(n proto.NodeID)      { s[n>>6] |= 1 << (n & 63) }
+func (s *nodeSet) has(n proto.NodeID) bool { return s[n>>6]&(1<<(n&63)) != 0 }
+func (s *nodeSet) clear()                  { *s = nodeSet{} }
+
 // pending tracks an update this node coordinates (original write, RMW, or a
 // replay of a write it learned about through an INV).
 type pending struct {
@@ -163,7 +178,7 @@ type pending struct {
 	hasOp    bool
 	op       proto.ClientOp
 	oldVal   proto.Value // FAA result
-	acked    map[proto.NodeID]bool
+	acked    nodeSet
 	resendAt time.Duration
 	// slipped records that a view excluding this replica was installed while
 	// the pend was open: updates may then have committed without our ACK,
@@ -207,6 +222,7 @@ func New(cfg Config) *Hermes {
 	if h.cidOwner == nil {
 		h.cidOwner = func(cid uint16) proto.NodeID { return proto.NodeID(cid) }
 	}
+	h.wset = h.view.WriteSet(h.id)
 	h.publishGate()
 	return h
 }
@@ -288,6 +304,20 @@ func (h *Hermes) entry(k proto.Key) kvs.Entry {
 	return e
 }
 
+// safeVal returns an entry's value in a form that may outlive the current
+// event-loop turn: owner-backed values (zero-copy adopted from a pooled wire
+// frame) are cloned, because the pool reclaims the frame once a newer entry
+// replaces this one; owner-less values are immutable private heap slices and
+// alias freely. Every value that escapes the turn — completions, messages
+// encoded asynchronously by the transport, spec-read and pending buffers —
+// must pass through here.
+func safeVal(e kvs.Entry) proto.Value {
+	if e.Owner != nil {
+		return e.Value.Clone()
+	}
+	return e.Value
+}
+
 func (h *Hermes) metaOf(k proto.Key) *keyMeta {
 	m := h.meta[k]
 	if m == nil {
@@ -340,7 +370,7 @@ func (h *Hermes) Submit(op proto.ClientOp) {
 		if op.Kind == proto.OpRead && e.State == kvs.Valid {
 			// Valid but this node coordinates an in-flight update whose
 			// local apply is imminent; still safe to read the Valid value.
-			h.completeRead(op, e.Value)
+			h.completeRead(op, safeVal(e))
 			return
 		}
 		if op.Kind == proto.OpRead {
@@ -350,7 +380,7 @@ func (h *Hermes) Submit(op proto.ClientOp) {
 		return
 	}
 	if op.Kind == proto.OpRead {
-		h.completeRead(op, e.Value)
+		h.completeRead(op, safeVal(e))
 		return
 	}
 	h.startUpdate(op, e)
@@ -394,12 +424,12 @@ func (h *Hermes) startUpdate(op proto.ClientOp, e kvs.Entry) {
 		if !bytes.Equal(e.Value, op.Expected) {
 			// Failed CAS is a linearizable read of the current value; no
 			// protocol action needed since the key is Valid.
-			h.env.Complete(proto.Completion{OpID: op.ID, Kind: op.Kind, Key: op.Key, Status: proto.CASFailed, Value: e.Value})
+			h.env.Complete(proto.Completion{OpID: op.ID, Kind: op.Kind, Key: op.Key, Status: proto.CASFailed, Value: safeVal(e)})
 			return
 		}
 		newVal = op.Value
 	case proto.OpFAA:
-		oldVal = e.Value
+		oldVal = safeVal(e)
 		newVal = proto.EncodeInt64(proto.DecodeInt64(e.Value) + proto.DecodeInt64(op.Value))
 	default:
 		// Reads are served from the local Valid copy and never coordinate.
@@ -418,7 +448,6 @@ func (h *Hermes) startUpdate(op proto.ClientOp, e kvs.Entry) {
 	m.pend = &pending{
 		ts: ts, val: newVal.Clone(), rmw: rmw,
 		hasOp: true, op: op, oldVal: oldVal,
-		acked:    make(map[proto.NodeID]bool),
 		resendAt: h.env.Now() + h.cfg.MLT,
 	}
 	// CINV: apply locally and broadcast the invalidation with the value.
@@ -436,8 +465,8 @@ func (h *Hermes) pickCID() uint16 {
 
 func (h *Hermes) broadcastINV(k proto.Key, p *pending) {
 	msg := INV{Epoch: h.view.Epoch, Key: k, TS: p.ts, Value: p.val, RMW: p.rmw}
-	for _, n := range h.view.WriteSet(h.id) {
-		if !p.acked[n] {
+	for _, n := range h.wset {
+		if !p.acked.has(n) {
 			h.env.Send(n, msg)
 			h.metrics.INVsSent++
 		}
@@ -453,8 +482,10 @@ func (h *Hermes) startReplay(k proto.Key, m *keyMeta, e kvs.Entry) {
 	h.metrics.Replays++
 	m.replayAt = 0
 	m.pend = &pending{
-		ts: e.TS, val: e.Value, rmw: e.RMW, replay: true,
-		acked:    make(map[proto.NodeID]bool),
+		// The replay value escapes the turn: it is rebroadcast from timers
+		// and encoded asynchronously, so an owner-backed store value must be
+		// cloned out of its pooled frame first.
+		ts: e.TS, val: safeVal(e), rmw: e.RMW, replay: true,
 		resendAt: h.env.Now() + h.cfg.MLT,
 	}
 	h.store.SetState(k, kvs.Replay)
@@ -492,9 +523,13 @@ func (h *Hermes) staleEpoch(e uint32) bool {
 	return false
 }
 
-// onINV implements FINV/FACK and the RMW variant FRMW-ACK.
+// onINV implements FINV/FACK and the RMW variant FRMW-ACK. An INV decoded
+// from the wire may carry one reference on the frame buffer backing its
+// value (inv.Owner); exactly one of the paths below consumes it — applyINV
+// adopts it into the store, every non-apply path releases it.
 func (h *Hermes) onINV(from proto.NodeID, inv INV) {
 	if h.staleEpoch(inv.Epoch) {
+		inv.ReleaseOwner()
 		return
 	}
 	e := h.entry(inv.Key)
@@ -504,13 +539,16 @@ func (h *Hermes) onINV(from proto.NodeID, inv INV) {
 		// FRMW-ACK: an RMW that has already lost. Respond with the local
 		// state as an INV (the same message a write replay uses) so the RMW
 		// coordinator observes the higher timestamp and aborts.
-		h.env.Send(from, INV{Epoch: h.view.Epoch, Key: inv.Key, TS: e.TS, Value: e.Value, RMW: e.RMW})
+		inv.ReleaseOwner()
+		h.env.Send(from, INV{Epoch: h.view.Epoch, Key: inv.Key, TS: e.TS, Value: safeVal(e), RMW: e.RMW})
 		h.metrics.INVsSent++
 		return
 	}
 
 	if cmp > 0 {
 		h.applyINV(inv)
+	} else {
+		inv.ReleaseOwner()
 	}
 	h.sendACK(from, inv, cmp)
 }
@@ -575,7 +613,11 @@ func (h *Hermes) applyINV(inv INV) {
 			st = kvs.Trans
 		}
 	}
-	h.store.Update(inv.Key, kvs.Entry{Value: inv.Value.Clone(), TS: inv.TS, State: st, RMW: inv.RMW})
+	// Zero-copy adoption: the entry takes over the INV's frame-buffer
+	// reference (nil for sim/heap-decoded INVs, where Value is already a
+	// private immutable slice). The store releases it when a newer entry
+	// replaces this one.
+	h.store.Update(inv.Key, kvs.Entry{Value: inv.Value, TS: inv.TS, State: st, RMW: inv.RMW, Owner: inv.Owner})
 	if m != nil {
 		// Stalled requests now wait for the newer write; re-arm its timer.
 		if len(m.waiters) > 0 && st == kvs.Invalid && m.pend == nil {
@@ -601,7 +643,7 @@ func (h *Hermes) sendACK(from proto.NodeID, inv INV, cmp int) {
 		e := h.entry(inv.Key)
 		ack.Higher = true
 		ack.HTS = e.TS
-		ack.HVal = e.Value.Clone()
+		ack.HVal = safeVal(e)
 		ack.HRMW = e.RMW
 		h.metrics.TeachACKs++
 	}
@@ -610,7 +652,7 @@ func (h *Hermes) sendACK(from proto.NodeID, inv INV, cmp int) {
 		h.metrics.ACKsSent++
 		return
 	}
-	for _, n := range h.view.WriteSet(h.id) {
+	for _, n := range h.wset {
 		h.env.Send(n, ack)
 		h.metrics.ACKsSent++
 	}
@@ -628,7 +670,7 @@ func (h *Hermes) onACK(from proto.NodeID, ack ACK) {
 		h.learnHigher(ack)
 	}
 	if m := h.meta[ack.Key]; m != nil && m.pend != nil && m.pend.ts == ack.TS {
-		m.pend.acked[from] = true
+		m.pend.acked.add(from)
 		h.checkCommit(ack.Key, m)
 		return
 	}
@@ -734,8 +776,8 @@ func (h *Hermes) checkCommit(k proto.Key, m *keyMeta) {
 	if p == nil {
 		return
 	}
-	for _, n := range h.view.WriteSet(h.id) {
-		if !p.acked[n] {
+	for _, n := range h.wset {
+		if !p.acked.has(n) {
 			return
 		}
 	}
@@ -804,8 +846,8 @@ func (h *Hermes) finishPending(k proto.Key, m *keyMeta) {
 // receivers already past it ACK harmlessly.
 func (h *Hermes) relayHigherINV(k proto.Key) {
 	e := h.entry(k)
-	msg := INV{Epoch: h.view.Epoch, Key: k, TS: e.TS, Value: e.Value.Clone(), RMW: e.RMW}
-	for _, n := range h.view.WriteSet(h.id) {
+	msg := INV{Epoch: h.view.Epoch, Key: k, TS: e.TS, Value: safeVal(e), RMW: e.RMW}
+	for _, n := range h.wset {
 		h.env.Send(n, msg)
 		h.metrics.INVsSent++
 	}
@@ -821,7 +863,7 @@ func (h *Hermes) elideOrBroadcastVAL(k proto.Key, ts proto.TS) {
 
 func (h *Hermes) broadcastVAL(k proto.Key, ts proto.TS) {
 	msg := VAL{Epoch: h.view.Epoch, Key: k, TS: ts}
-	for _, n := range h.view.WriteSet(h.id) {
+	for _, n := range h.wset {
 		h.env.Send(n, msg)
 		h.metrics.VALsSent++
 	}
@@ -850,7 +892,7 @@ func (h *Hermes) drainWaiters(k proto.Key, m *keyMeta) {
 		op := m.waiters[0]
 		m.waiters = m.waiters[1:]
 		if op.Kind == proto.OpRead {
-			h.completeRead(op, e.Value)
+			h.completeRead(op, safeVal(e))
 			continue
 		}
 		h.startUpdate(op, e)
@@ -932,6 +974,7 @@ func (h *Hermes) OnViewChange(v proto.View) {
 	h.checkAcks = 0
 	// Reopen (or keep shut) the lock-free read gate under the new epoch;
 	// the live runtime shut it before this m-update entered the event loop.
+	h.wset = h.view.WriteSet(h.id)
 	h.publishGate()
 	for _, k := range h.sortedMetaKeys() {
 		m := h.meta[k]
@@ -947,7 +990,7 @@ func (h *Hermes) OnViewChange(v proto.View) {
 			// verdict (applyINV) must not claim them as ours.
 			p.slipped = true
 		}
-		p.acked = make(map[proto.NodeID]bool)
+		p.acked.clear()
 		p.resendAt = h.env.Now() + h.cfg.MLT
 		h.broadcastINV(k, p)
 		h.checkCommit(k, m)
@@ -1061,8 +1104,13 @@ func (h *Hermes) onChunkReq(from proto.NodeID, req ChunkReq) {
 			skip--
 			return true
 		}
+		// safeVal, not e.Value: the response is encoded asynchronously by the
+		// transport, and an owner-backed value's pooled frame may be recycled
+		// the moment a newer update replaces this entry — shipping the live
+		// slice would serialize whatever the pool's next frame holds into the
+		// learner's store (the chunk-transfer aliasing bug).
 		resp.Keys = append(resp.Keys, k)
-		resp.Recs = append(resp.Recs, ChunkRec{TS: e.TS, Value: e.Value, RMW: e.RMW, Invalid: e.State != kvs.Valid})
+		resp.Recs = append(resp.Recs, ChunkRec{TS: e.TS, Value: safeVal(e), RMW: e.RMW, Invalid: e.State != kvs.Valid})
 		return len(resp.Keys) < req.MaxKeys
 	})
 	resp.Done = len(resp.Keys) < req.MaxKeys
@@ -1087,7 +1135,9 @@ func (h *Hermes) onChunkResp(from proto.NodeID, resp ChunkResp) {
 		if rec.Invalid {
 			st = kvs.Invalid
 		}
-		h.store.Update(k, kvs.Entry{Value: rec.Value.Clone(), TS: rec.TS, State: st, RMW: rec.RMW})
+		// rec.Value is private: wire-decoded ChunkRec values are heap copies,
+		// and an in-process sender built them with safeVal — adopt directly.
+		h.store.Update(k, kvs.Entry{Value: rec.Value, TS: rec.TS, State: st, RMW: rec.RMW})
 	}
 	h.fetchCursor = resp.Cursor
 	if resp.Done {

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/proto"
+import (
+	"repro/internal/proto"
+	"repro/internal/refbuf"
+)
 
 // Protocol messages (paper §3.2, Figure 3). Every message is tagged with the
 // sender's membership epoch_id; receivers drop messages from a different
@@ -19,6 +22,44 @@ type INV struct {
 	TS    proto.TS
 	Value proto.Value
 	RMW   bool
+
+	// Owner, when non-nil, is the pooled frame buffer that Value aliases:
+	// the wire decoder retained it once on this INV's behalf, and exactly
+	// one downstream party must consume that reference — the store adopts
+	// it on apply (kvs.Entry.Owner), or the engine releases it on every
+	// drop path (stale epoch, outranked duplicate, RMW conflict reply).
+	// Owner is never encoded; an INV that crosses the wire again carries a
+	// fresh frame's ownership on the far side. Nil means Value is a private
+	// heap slice (in-process transports, locally minted writes) that is
+	// immutable and safe to alias forever.
+	Owner *refbuf.Buf
+}
+
+// ReleaseOwner drops the INV's frame-buffer reference on a path that will
+// not adopt the value into the store. Safe on owner-less INVs.
+func (m INV) ReleaseOwner() {
+	if m.Owner != nil {
+		m.Owner.Release()
+	}
+}
+
+// ReleaseMsgOwners releases every pooled-buffer reference msg carries,
+// looking through the shard envelopes. Transports call it on any decoded
+// message they drop instead of delivering, and the wings link calls it when
+// Send consumes a message (the frame encoder copies the bytes out
+// synchronously, so the reference is spent whether or not the encode
+// succeeded).
+func ReleaseMsgOwners(msg any) {
+	switch m := msg.(type) { //hermesvet:ignore exhaustive deliberately partial: every message type without an Owner field needs no release, and falling through is the correct no-op
+	case INV:
+		m.ReleaseOwner()
+	case proto.ShardMsg:
+		ReleaseMsgOwners(m.Msg)
+	case proto.ShardBatch:
+		for _, sm := range m.Msgs {
+			ReleaseMsgOwners(sm.Msg)
+		}
+	}
 }
 
 // ACK acknowledges an INV. The follower echoes the INV's timestamp so the
@@ -106,15 +147,19 @@ type ChunkRec struct {
 	Invalid bool
 }
 
-// Coalescable marks the small fixed-size messages a sharded node's egress
-// layer gathers into cross-shard batch frames: ACKs and VALs, which at W
-// shards dominate the per-write frame rate. One predicate serves both the
-// live coalescer (cluster) and the simulator's model of it (bench), so the
-// two cannot drift. IsResponse distinguishes the flow-control class: ACKs
-// are responses (consume no send credit — they repay one), VALs are not.
+// Coalescable marks the messages a sharded node's egress layer gathers into
+// cross-shard batch frames: ACKs and VALs (small and fixed-size, dominant in
+// the per-write frame rate at W shards) and INVs (value-bearing, batched
+// under a byte budget so one jumbo write cannot starve the frame). One
+// predicate serves both the live coalescer (cluster) and the simulator's
+// model of it (bench), so the two cannot drift. The flow-control class
+// differs per type — ACKs are responses (consume no send credit, repay
+// one), VALs are one-way (a batch costs one credit), INVs are requests
+// (a batch costs one credit per inner INV, each repaid by its ACK) — so
+// the coalescer never mixes classes in one batch.
 func Coalescable(msg any) bool {
 	switch msg.(type) {
-	case ACK, VAL:
+	case ACK, VAL, INV:
 		return true
 	}
 	return false

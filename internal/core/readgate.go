@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/kvs"
 	"repro/internal/proto"
+	"repro/internal/refbuf"
 )
 
 // ReadGate is the single atomic word guarding the lock-free local-read fast
@@ -89,25 +90,52 @@ func (h *Hermes) publishGate() {
 // concurrent view installation (which shuts the gate first) can never have
 // its transition window straddle the lookup unnoticed.
 func (h *Hermes) ReadLocal(k proto.Key) (proto.Value, bool) {
+	v, owner, ok := h.ReadLocalRetained(k)
+	if !ok {
+		return nil, false
+	}
+	if owner != nil {
+		// The caller gets a private copy; the pin existed only for the
+		// duration of the clone.
+		v = v.Clone()
+		owner.Release()
+	}
+	return v, true
+}
+
+// ReadLocalRetained is ReadLocal for callers that consume the value
+// asynchronously (the serving layer encodes responses on a flusher
+// goroutine): when the returned owner is non-nil, the value aliases a pooled
+// wire-frame buffer pinned with one reference the caller must Release after
+// its last use of the bytes — skipping the defensive copy ReadLocal would
+// make. A nil owner means the value is immutable heap memory with no
+// lifetime obligation. ok=false follows ReadLocal's fallback contract.
+func (h *Hermes) ReadLocalRetained(k proto.Key) (proto.Value, *refbuf.Buf, bool) {
 	g := h.gate.v.Load()
 	if !gateAllows(g) {
 		h.fastMisses.Inc()
-		return nil, false
+		return nil, nil, false
 	}
-	e, ok := h.store.Get(k)
+	e, ok := h.store.GetRetained(k)
 	if ok && e.State != kvs.Valid {
+		if e.Owner != nil {
+			e.Owner.Release()
+		}
 		h.fastMisses.Inc()
-		return nil, false
+		return nil, nil, false
 	}
 	if h.gate.v.Load() != g {
+		if e.Owner != nil {
+			e.Owner.Release()
+		}
 		h.fastMisses.Inc()
-		return nil, false
+		return nil, nil, false
 	}
 	// One counter bump, not two: the read total is derived as
 	// submitted + fastReads when reported, keeping the hit hot path at a
 	// single striped increment (see readCounter).
 	h.fastReads.Inc()
-	return e.Value, true
+	return e.Value, e.Owner, true
 }
 
 // ReadStats returns the read-side counters: total reads served (fast path +

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/proto"
+	"repro/internal/refbuf"
 )
 
 // KeyState is the Hermes per-key replica state (paper §3.2). It lives here
@@ -70,6 +71,15 @@ type Entry struct {
 	TS    proto.TS
 	State KeyState
 	RMW   bool // RMW_flag of the last update (paper §3.6)
+
+	// Owner, when non-nil, is the pooled wire-frame buffer Value aliases —
+	// the zero-copy adoption path: the published entry holds exactly one
+	// reference, transferred from the INV that carried the value. Update
+	// releases the replaced entry's reference after publishing the new one,
+	// so lock-free readers that pinned the old buffer (GetRetained) always
+	// see a republished slot before the count can drop. Nil means Value is
+	// a private immutable heap slice.
+	Owner *refbuf.Buf
 }
 
 // Store is the sharded CRCW store.
@@ -134,8 +144,12 @@ func (s *Store) Get(k proto.Key) (Entry, bool) {
 	return *e, true
 }
 
-// Update installs a full entry for k (value, timestamp, state, rmw flag).
-// The caller must be the key's single writer.
+// Update installs a full entry for k (value, timestamp, state, rmw flag),
+// adopting e.Owner's reference if set. The caller must be the key's single
+// writer. The replaced entry's buffer reference is released only after the
+// new entry is published: a concurrent GetRetained that pinned the old
+// buffer before the swap keeps it alive, and one that loses the
+// TryRetain race is guaranteed to observe the new entry on reload.
 func (s *Store) Update(k proto.Key, e Entry) {
 	sl := s.lookup(k)
 	if sl == nil {
@@ -148,12 +162,19 @@ func (s *Store) Update(k proto.Key, e Entry) {
 		}
 		sh.mu.Unlock()
 	}
-	sl.p.Store(&e)
+	old := sl.p.Swap(&e)
+	if old != nil && old.Owner != nil {
+		// Each published entry holds its own reference, so this release is
+		// unconditional even when old and new alias the same frame buffer.
+		old.Owner.Release()
+	}
 }
 
 // SetState transitions only the replica state of k (e.g. Invalid -> Valid on
 // a VAL message) leaving value and timestamp untouched. No-op if the key is
-// absent. The caller must be the key's single writer.
+// absent. The caller must be the key's single writer. The republished entry
+// inherits the old one's buffer reference — a transfer, not a new retain,
+// so no release happens here.
 func (s *Store) SetState(k proto.Key, st KeyState) {
 	sl := s.lookup(k)
 	if sl == nil {
@@ -166,6 +187,40 @@ func (s *Store) SetState(k proto.Key, st KeyState) {
 	e := *cur
 	e.State = st
 	sl.p.Store(&e)
+}
+
+// GetRetained is Get for readers that will use the value outside the key's
+// event-loop turn: when the entry's value aliases a pooled frame buffer,
+// the buffer comes back pinned (one reference the caller must Release when
+// done with the bytes). An owner-less entry needs no pin — its value is
+// immutable heap memory — and returns Owner nil.
+//
+// The pin protocol: TryRetain the loaded entry's buffer, then re-load the
+// slot and require the same entry. Update releases a replaced entry's
+// reference only after publishing its successor, so a successful retain on
+// a stale entry is always caught by the pointer re-check (the transient
+// extra reference is balance-neutral), and a failed TryRetain means a
+// fresher entry is already published.
+func (s *Store) GetRetained(k proto.Key) (Entry, bool) {
+	sl := s.lookup(k)
+	if sl == nil {
+		return Entry{}, false
+	}
+	for {
+		ep := sl.p.Load()
+		if ep == nil {
+			return Entry{}, false
+		}
+		if ep.Owner == nil {
+			return *ep, true
+		}
+		if ep.Owner.TryRetain() {
+			if sl.p.Load() == ep {
+				return *ep, true
+			}
+			ep.Owner.Release()
+		}
+	}
 }
 
 // Len returns the number of keys stored.

@@ -1,0 +1,76 @@
+package refbuf
+
+import (
+	"sync"
+	"testing"
+)
+
+// FuzzRefcountLifecycle drives random legal acquire/release interleavings —
+// the refcount lifecycle target of the hermes-vet fuzz registry. The script
+// bytes choose operations for a main holder and two concurrent pinners that
+// only ever use TryRetain (the lock-free reader discipline); the property is
+// balance: after every holder drops its references, the count is exactly
+// zero and the buffer is reusable.
+func FuzzRefcountLifecycle(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 1, 1})
+	f.Add([]byte{2, 2, 2, 1, 1, 1, 1})
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		p := NewPool()
+		b := p.Get(16)
+		held := 1 // references owned by the main goroutine
+
+		// Concurrent pinners: retain-if-alive, touch, release. They can only
+		// interleave with the main script's releases, which is exactly the
+		// race GetRetained-style readers run.
+		var wg sync.WaitGroup
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < len(script); i++ {
+					if !b.TryRetain() {
+						return
+					}
+					_ = b.Bytes()[0]
+					b.Release()
+				}
+			}()
+		}
+
+		for _, op := range script {
+			switch op % 3 {
+			case 0: // retain, legal only while holding a reference
+				if held > 0 {
+					b.Retain()
+					held++
+				}
+			case 1: // release one held reference
+				if held > 0 {
+					b.Release()
+					held--
+				}
+			case 2: // reader-style pin/unpin
+				if b.TryRetain() {
+					b.Release()
+				}
+			}
+		}
+		for ; held > 0; held-- {
+			b.Release()
+		}
+		wg.Wait()
+		if r := b.Refs(); r != 0 {
+			t.Fatalf("unbalanced lifecycle: final refs=%d", r)
+		}
+		if b.TryRetain() {
+			t.Fatal("TryRetain succeeded after final release")
+		}
+		// The pool must hand the slot back out cleanly.
+		nb := p.Get(8)
+		if nb.Refs() != 1 || len(nb.Bytes()) != 8 {
+			t.Fatalf("recycled buffer bad state: refs=%d len=%d", nb.Refs(), len(nb.Bytes()))
+		}
+		nb.Release()
+	})
+}

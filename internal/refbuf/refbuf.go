@@ -1,0 +1,117 @@
+// Package refbuf provides pooled, reference-counted byte buffers — the
+// ownership substrate of the zero-copy wire-to-store value path. A receive
+// loop gets a frame buffer from a Pool (refcount 1), decoders retain it once
+// per value that aliases the frame, and every holder releases when done; the
+// buffer returns to the pool only when the last reference drops. RCU-style
+// asymmetric sharing (cf. sRSP): writers hand ownership forward exactly once
+// per hop, readers pay one atomic on retain/release and zero copies.
+//
+// Discipline, enforced by panics on misuse:
+//
+//   - Retain requires the caller to already hold a reference (refs > 0);
+//     retaining a released buffer is a use-after-free in the making.
+//   - TryRetain is the reader-side entry point: it fails (rather than
+//     panics) when the count has hit zero, letting lock-free readers race
+//     a concurrent release and retry against fresher state.
+//   - Release below zero panics: a double release is a latent corruption
+//     that must not be absorbed silently.
+//
+// A Buf's bytes must be treated as immutable while any reference other than
+// the filler's initial one exists.
+package refbuf
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// maxPooledCap bounds the byte capacity a pooled buffer may retain between
+// uses. Jumbo frames (up to the codec's 16 MB bound) would otherwise pin
+// their worst-case allocation in the pool forever; past the bound the bytes
+// are dropped and only the Buf header is recycled.
+const maxPooledCap = 1 << 20
+
+// Buf is one refcounted buffer. The zero value is invalid; obtain Bufs from
+// a Pool.
+type Buf struct {
+	refs atomic.Int32
+	b    []byte
+	pool *Pool
+}
+
+// Bytes returns the buffer's payload. Valid only while the caller holds a
+// reference; the slice (and any sub-slice of it) must not be read after the
+// matching Release.
+func (b *Buf) Bytes() []byte { return b.b }
+
+// Refs reports the current reference count (diagnostics and tests).
+func (b *Buf) Refs() int32 { return b.refs.Load() }
+
+// Retain adds a reference on behalf of a caller that already holds one —
+// the decode path retaining the frame once per value that aliases it.
+func (b *Buf) Retain() {
+	if b.refs.Add(1) <= 1 {
+		panic("refbuf: Retain of released buffer")
+	}
+}
+
+// TryRetain adds a reference only if the count is still positive. Lock-free
+// readers use it to pin a buffer they discovered through a shared pointer:
+// failure means the owner released concurrently, and the reader must reload
+// fresher state rather than touch the bytes.
+func (b *Buf) TryRetain() bool {
+	for {
+		r := b.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if b.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// Release drops one reference; the last release returns the buffer to its
+// pool. Releasing more times than retained panics — a double release would
+// let the pool hand the same bytes to two owners.
+func (b *Buf) Release() {
+	switch r := b.refs.Add(-1); {
+	case r == 0:
+		if b.pool != nil {
+			b.pool.put(b)
+		}
+	case r < 0:
+		panic("refbuf: Release of released buffer")
+	}
+}
+
+// Pool recycles Bufs. The zero value is ready to use.
+type Pool struct {
+	p sync.Pool
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a buffer with len(Bytes()) == n and refcount 1. The bytes are
+// not zeroed — callers overwrite them (a frame read fills the whole buffer).
+func (p *Pool) Get(n int) *Buf {
+	b, _ := p.p.Get().(*Buf)
+	if b == nil {
+		b = &Buf{pool: p}
+	}
+	if cap(b.b) < n {
+		b.b = make([]byte, n)
+	} else {
+		b.b = b.b[:n]
+	}
+	b.refs.Store(1)
+	return b
+}
+
+func (p *Pool) put(b *Buf) {
+	if cap(b.b) > maxPooledCap {
+		b.b = nil
+	}
+	p.p.Put(b)
+}

@@ -1,0 +1,117 @@
+package refbuf
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetRetainRelease(t *testing.T) {
+	p := NewPool()
+	b := p.Get(8)
+	if got := len(b.Bytes()); got != 8 {
+		t.Fatalf("len=%d want 8", got)
+	}
+	if b.Refs() != 1 {
+		t.Fatalf("fresh refs=%d want 1", b.Refs())
+	}
+	b.Retain()
+	if b.Refs() != 2 {
+		t.Fatalf("refs=%d want 2", b.Refs())
+	}
+	b.Release()
+	b.Release()
+	if b.Refs() != 0 {
+		t.Fatalf("refs=%d want 0", b.Refs())
+	}
+}
+
+func TestPoolRecyclesOnlyAtZero(t *testing.T) {
+	p := NewPool()
+	b := p.Get(16)
+	b.Retain() // refs=2: the buffer must NOT be reusable after one release
+	b.Release()
+	b2 := p.Get(16)
+	if b2 == b {
+		t.Fatal("pool handed out a buffer that still has a reference")
+	}
+	b.Release()
+	b2.Release()
+}
+
+func TestTryRetainFailsAtZero(t *testing.T) {
+	p := NewPool()
+	b := p.Get(4)
+	if !b.TryRetain() {
+		t.Fatal("TryRetain failed with refs=1")
+	}
+	b.Release()
+	b.Release()
+	if b.TryRetain() {
+		t.Fatal("TryRetain succeeded on a released buffer")
+	}
+}
+
+func TestRetainAfterReleasePanics(t *testing.T) {
+	p := NewPool()
+	b := p.Get(4)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retain of released buffer did not panic")
+		}
+	}()
+	b.Retain()
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	// No pool: a pooled buffer's release-to-zero resets the count via Get,
+	// so the double release must be caught on a still-dead buffer.
+	b := &Buf{}
+	b.refs.Store(1)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestOversizedBufNotPooled(t *testing.T) {
+	p := NewPool()
+	b := p.Get(maxPooledCap + 1)
+	b.Release()
+	if b.b != nil {
+		t.Fatal("jumbo byte slice retained in pool")
+	}
+}
+
+// TestConcurrentTryRetainRelease races readers pinning a buffer against the
+// owner releasing it; run under -race. The invariant: every successful
+// TryRetain is matched by a Release, and the count ends at zero exactly once.
+func TestConcurrentTryRetainRelease(t *testing.T) {
+	p := NewPool()
+	for iter := 0; iter < 200; iter++ {
+		b := p.Get(32)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					if b.TryRetain() {
+						_ = b.Bytes()[0]
+						b.Release()
+					} else {
+						return // owner released; bytes are off limits
+					}
+				}
+			}()
+		}
+		b.Release()
+		wg.Wait()
+		if r := b.Refs(); r != 0 {
+			t.Fatalf("iter %d: final refs=%d", iter, r)
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/proto"
+	"repro/internal/refbuf"
 	"repro/internal/wings"
 )
 
@@ -49,6 +50,19 @@ type Backend interface {
 	// SubmitAsync hands op to the owning shard's event loop; fn runs on that
 	// loop with the completion and must not block.
 	SubmitAsync(op proto.ClientOp, fn func(proto.Completion)) error
+}
+
+// RetainedReader is the zero-copy upgrade of Backend.ReadLocal, detected by
+// type assertion at New: a fast read returns the store's value pinned (a
+// non-nil owner holds one reference on the pooled frame buffer the value
+// aliases) instead of ReadLocal's defensive copy. The serving layer keeps
+// the pin across the response coalescer and releases it once the flusher has
+// encoded the bytes into the outgoing frame — the fix for the response-value
+// escape, where a queued response's value could be recycled (and its bytes
+// rewritten by an unrelated inbound frame) between enqueue and encode.
+// cluster.Node and cluster.ShardedNode both implement it.
+type RetainedReader interface {
+	ReadLocalRetained(key proto.Key) (proto.Value, *refbuf.Buf, bool)
 }
 
 // DefaultWindow is the pipelining window granted to clients at handshake.
@@ -75,6 +89,9 @@ type Config struct {
 // (plain or sharded); construct with New, drive with Serve, stop with Close.
 type Server struct {
 	cfg Config
+	// rr is cfg.Backend's RetainedReader upgrade, nil when the backend only
+	// offers the copying ReadLocal (test fakes, third-party backends).
+	rr RetainedReader
 
 	mu       sync.Mutex
 	lns      []net.Listener
@@ -102,7 +119,8 @@ func New(cfg Config) *Server {
 	if cfg.MaxInflight <= cfg.Window {
 		cfg.MaxInflight = cfg.Window * 4
 	}
-	return &Server{cfg: cfg, sessions: make(map[*session]struct{})}
+	rr, _ := cfg.Backend.(RetainedReader)
+	return &Server{cfg: cfg, rr: rr, sessions: make(map[*session]struct{})}
 }
 
 // ErrServerClosed is returned by Serve after Close.
@@ -206,9 +224,18 @@ type session struct {
 	outstanding atomic.Int64
 
 	mu       sync.Mutex
-	queue    []proto.ClientResp
+	queue    []queuedResp
 	flushing bool
 	dead     bool
+}
+
+// queuedResp is one response awaiting flush. A non-nil owner pins the pooled
+// frame buffer resp.Value aliases (the zero-copy fast-read path); the
+// session releases it after the flusher encodes the bytes — or on any drop
+// path (dead enqueue, kill) that means the bytes will never be encoded.
+type queuedResp struct {
+	resp  proto.ClientResp
+	owner *refbuf.Buf
 }
 
 // errTooManyInflight kills a session that exceeded its outstanding bound.
@@ -262,9 +289,15 @@ func (se *session) handle(msg any) error {
 	}
 	se.srv.reqs.Add(1)
 	if req.Op == proto.OpRead {
-		if v, ok := se.srv.cfg.Backend.ReadLocal(req.Key); ok {
+		if rr := se.srv.rr; rr != nil {
+			if v, owner, ok := rr.ReadLocalRetained(req.Key); ok {
+				se.srv.fastReads.Add(1)
+				se.enqueue(queuedResp{resp: proto.ClientResp{Seq: req.Seq, Status: proto.OK, Value: v}, owner: owner})
+				return nil
+			}
+		} else if v, ok := se.srv.cfg.Backend.ReadLocal(req.Key); ok {
 			se.srv.fastReads.Add(1)
-			se.enqueue(proto.ClientResp{Seq: req.Seq, Status: proto.OK, Value: v})
+			se.enqueue(queuedResp{resp: proto.ClientResp{Seq: req.Seq, Status: proto.OK, Value: v}})
 			return nil
 		}
 	}
@@ -273,12 +306,13 @@ func (se *session) handle(msg any) error {
 		Kind: req.Op, Key: req.Key, Value: req.Value, Expected: req.Expected,
 	}, func(c proto.Completion) {
 		// Shard event-loop context: enqueue-and-return, never block.
-		se.enqueue(proto.ClientResp{Seq: seq, Status: c.Status, Value: c.Value})
+		// Completion values are safeVal'd by the engine — no owner to carry.
+		se.enqueue(queuedResp{resp: proto.ClientResp{Seq: seq, Status: c.Status, Value: c.Value}})
 	})
 	if err != nil {
 		// Node shutting down: tell the client to retry elsewhere rather than
 		// cutting the stream mid-pipeline.
-		se.enqueue(proto.ClientResp{Seq: seq, Status: proto.NotOperational})
+		se.enqueue(queuedResp{resp: proto.ClientResp{Seq: seq, Status: proto.NotOperational}})
 	}
 	return nil
 }
@@ -286,13 +320,17 @@ func (se *session) handle(msg any) error {
 // enqueue queues one response and kicks the flusher. Called from the session
 // goroutine (inline reads) and from shard event loops (completions); never
 // blocks beyond the queue mutex.
-func (se *session) enqueue(resp proto.ClientResp) {
+func (se *session) enqueue(qr queuedResp) {
 	se.mu.Lock()
 	if se.dead {
 		se.mu.Unlock()
+		// The response will never be encoded: spend its pin here.
+		if qr.owner != nil {
+			qr.owner.Release()
+		}
 		return
 	}
-	se.queue = append(se.queue, resp)
+	se.queue = append(se.queue, qr)
 	if !se.flushing {
 		se.flushing = true
 		go se.flushLoop()
@@ -307,7 +345,7 @@ func (se *session) enqueue(resp proto.ClientResp) {
 // the session at the bound.
 func (se *session) flushLoop() {
 	var buf []byte
-	var msgs []any
+	var resps []proto.ClientResp
 	for {
 		se.mu.Lock()
 		if len(se.queue) == 0 || se.dead {
@@ -324,11 +362,17 @@ func (se *session) flushLoop() {
 		}
 		se.mu.Unlock()
 
-		msgs = msgs[:0]
-		for _, r := range batch {
-			msgs = append(msgs, r)
+		resps = resps[:0]
+		for _, qr := range batch {
+			resps = append(resps, qr.resp)
 		}
-		frame, err := wings.AppendFrame(buf[:0], msgs...)
+		// Monomorphic encode: no per-response interface boxing, so a flush
+		// with warm scratch buffers allocates nothing.
+		frame, err := wings.AppendClientResps(buf[:0], resps)
+		// The frame holds private copies of every value now; the pinned
+		// buffers' last use is behind us either way (on the error path the
+		// bytes will never be encoded at all).
+		releaseBatch(batch)
 		if err != nil {
 			se.kill()
 			return
@@ -342,14 +386,26 @@ func (se *session) flushLoop() {
 	}
 }
 
+// releaseBatch spends the frame-buffer pins of a drained queue segment.
+func releaseBatch(batch []queuedResp) {
+	for i := range batch {
+		if batch[i].owner != nil {
+			batch[i].owner.Release()
+		}
+	}
+}
+
 // kill marks the session dead and closes its connection, unblocking both the
 // pump (read error) and the flusher (write error). Idempotent.
 func (se *session) kill() {
 	se.mu.Lock()
 	already := se.dead
 	se.dead = true
+	q := se.queue
 	se.queue = nil
 	se.mu.Unlock()
+	// Queued responses die with the session; their pins must not.
+	releaseBatch(q)
 	if !already {
 		se.conn.Close()
 	}

@@ -41,20 +41,52 @@ func DefaultLinkConfig() wings.LinkConfig {
 		ExplicitEvery: 64,
 		IsResponse:    isResponse,
 		IsOneWay:      isOneWay,
+		CreditCost:    creditCost,
 	}
 }
 
+// creditCost prices a credit-consuming message: a coalesced request batch
+// (INVs) costs one send-window slot per inner request, because each inner
+// INV occupies receiver buffer space and is repaid individually by its ACK
+// — charging the batch a single credit would let W shards overrun the
+// window W-fold and collect W repayments for one debit. One-way batches
+// (VALs) keep the PR 2 pricing: one credit per frame, repaid by explicit
+// grants that count the batch once (see isOneWay). Only consulted for
+// non-responses.
+func creditCost(m any) int {
+	sb, ok := m.(proto.ShardBatch)
+	if !ok || isOneWay(sb) {
+		return 1
+	}
+	n := 0
+	for _, sm := range sb.Msgs {
+		if !isResponse(sm.Msg) {
+			n++
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // isOneWay marks credit-consuming messages that draw no response: VALs,
-// bare or shard-tagged, and coalesced batches containing them. (The
-// coalescer keeps credit classes apart, so a non-response batch is a VAL
-// batch; it consumed exactly one credit, and counts once.) Requests that a
-// response will repay — INVs, MChecks, ChunkReqs — are deliberately
-// excluded. A request dropped without a response (stale epoch during
-// reconfiguration) leaks its credit until the connection is rebuilt, which
-// node failure — the common cause of epoch change — does anyway.
+// bare or shard-tagged, and coalesced batches of them. A batch is one-way
+// only when every inner message is — with INVs now coalescable, a
+// non-response batch may be a request batch, and counting it toward
+// explicit grants would repay credits its ACKs already repay implicitly.
+// Requests that a response will repay — INVs, MChecks, ChunkReqs — are
+// deliberately excluded. A request dropped without a response (stale epoch
+// during reconfiguration) leaks its credit until the connection is rebuilt,
+// which node failure — the common cause of epoch change — does anyway.
 func isOneWay(m any) bool {
 	if sb, ok := m.(proto.ShardBatch); ok {
-		return !isResponse(sb)
+		for _, sm := range sb.Msgs {
+			if !isOneWay(sm.Msg) {
+				return false
+			}
+		}
+		return len(sb.Msgs) > 0
 	}
 	if sm, ok := m.(proto.ShardMsg); ok {
 		m = sm.Msg
@@ -180,6 +212,10 @@ func (m *Mesh) serveConn(conn net.Conn) {
 		m.mu.Unlock()
 		if fn != nil {
 			fn(from, msg)
+		} else {
+			// No consumer registered yet: the drop must spend the frame
+			// references decode retained for the message's values.
+			core.ReleaseMsgOwners(msg)
 		}
 	})
 }
@@ -226,6 +262,8 @@ func (m *Mesh) link(to proto.NodeID) *wings.Link {
 			m.mu.Unlock()
 			if fn != nil {
 				fn(to, msg)
+			} else {
+				core.ReleaseMsgOwners(msg)
 			}
 		})
 		m.mu.Lock()
@@ -260,10 +298,14 @@ func (m *Mesh) repayCredits(peer proto.NodeID, n int) {
 	}
 }
 
-// Send implements cluster.Transport.
+// Send implements cluster.Transport. Like wings.Link.Send it consumes
+// msg's pooled-buffer value references on every path, including the
+// unreachable-peer drop.
 func (m *Mesh) Send(from, to proto.NodeID, msg any) {
 	if l := m.link(to); l != nil {
 		l.Send(msg)
+	} else {
+		core.ReleaseMsgOwners(msg)
 	}
 }
 

@@ -64,11 +64,11 @@ func TestClientEnumRangeEnforced(t *testing.T) {
 	}
 	// Hand-build bodies with hostile enum bytes.
 	req := clientReqBody(1, 0xEE, 42, []byte("v"), nil)
-	if _, err := decodeMsg(tClientReq, req); !errors.Is(err, ErrBadEnum) {
+	if _, err := decodeMsg(tClientReq, req, nil); !errors.Is(err, ErrBadEnum) {
 		t.Fatalf("decoder accepted op 0xEE: %v", err)
 	}
 	resp := clientRespBody(1, 0xEE, nil)
-	if _, err := decodeMsg(tClientResp, resp); !errors.Is(err, ErrBadEnum) {
+	if _, err := decodeMsg(tClientResp, resp, nil); !errors.Is(err, ErrBadEnum) {
 		t.Fatalf("decoder accepted status 0xEE: %v", err)
 	}
 }
@@ -98,12 +98,12 @@ func TestClientHostileLengths(t *testing.T) {
 	lyingReq := clientReqBody(1, byte(proto.OpWrite), 42, []byte("v"), nil)
 	// Patch the value length (offset 17) to claim 16MB.
 	binary.LittleEndian.PutUint32(lyingReq[17:], 16<<20)
-	if _, err := decodeMsg(tClientReq, lyingReq); !errors.Is(err, io.ErrUnexpectedEOF) {
+	if _, err := decodeMsg(tClientReq, lyingReq, nil); !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatalf("lying req value length: err=%v, want unexpected EOF", err)
 	}
 	lyingResp := clientRespBody(1, byte(proto.OK), []byte("v"))
 	binary.LittleEndian.PutUint32(lyingResp[9:], 0xFFFFFFF0)
-	if _, err := decodeMsg(tClientResp, lyingResp); !errors.Is(err, io.ErrUnexpectedEOF) {
+	if _, err := decodeMsg(tClientResp, lyingResp, nil); !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatalf("lying resp value length: err=%v, want unexpected EOF", err)
 	}
 }
@@ -112,13 +112,13 @@ func TestClientHostileLengths(t *testing.T) {
 func TestClientTruncatedPayloads(t *testing.T) {
 	req := clientReqBody(9, byte(proto.OpCAS), 7, []byte("value"), []byte("expected"))
 	for i := 0; i < len(req); i++ {
-		if _, err := decodeMsg(tClientReq, req[:i]); err == nil {
+		if _, err := decodeMsg(tClientReq, req[:i], nil); err == nil {
 			t.Fatalf("req truncated to %d bytes decoded", i)
 		}
 	}
 	resp := clientRespBody(9, byte(proto.CASFailed), []byte("observed"))
 	for i := 0; i < len(resp); i++ {
-		if _, err := decodeMsg(tClientResp, resp[:i]); err == nil {
+		if _, err := decodeMsg(tClientResp, resp[:i], nil); err == nil {
 			t.Fatalf("resp truncated to %d bytes decoded", i)
 		}
 	}
@@ -151,12 +151,12 @@ func TestClientNeverNestsInShardEnvelopes(t *testing.T) {
 		tagged = append(tagged, tc.typ)
 		tagged = binary.LittleEndian.AppendUint32(tagged, uint32(len(tc.body)))
 		tagged = append(tagged, tc.body...)
-		if _, err := decodeMsg(tShard, tagged); !errors.Is(err, ErrUnknownType) {
+		if _, err := decodeMsg(tShard, tagged, nil); !errors.Is(err, ErrUnknownType) {
 			t.Fatalf("shard-tagged type %d: err=%v, want ErrUnknownType", tc.typ, err)
 		}
 		batch := binary.LittleEndian.AppendUint16(nil, 1) // batch count
 		batch = append(batch, tagged...)
-		if _, err := decodeMsg(tShardBatch, batch); !errors.Is(err, ErrUnknownType) {
+		if _, err := decodeMsg(tShardBatch, batch, nil); !errors.Is(err, ErrUnknownType) {
 			t.Fatalf("batched type %d: err=%v, want ErrUnknownType", tc.typ, err)
 		}
 	}
@@ -168,8 +168,8 @@ func TestClientDecodeNeverPanics(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		buf := make([]byte, rng.Intn(80))
 		rng.Read(buf)
-		_, _ = decodeMsg(tClientReq, buf)
-		_, _ = decodeMsg(tClientResp, buf)
+		_, _ = decodeMsg(tClientReq, buf, nil)
+		_, _ = decodeMsg(tClientResp, buf, nil)
 	}
 	validReq, err := Encode(proto.ClientReq{Seq: 3, Op: proto.OpCAS, Key: 11,
 		Value: proto.Value("abcdefgh"), Expected: proto.Value("12345678")})

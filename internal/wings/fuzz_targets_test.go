@@ -34,7 +34,7 @@ func FuzzDecodeMsg(f *testing.F) {
 		f.Add(frame[6], frame[11:])
 	}
 	f.Fuzz(func(t *testing.T, tag uint8, body []byte) {
-		msg, err := decodeMsg(tag, body)
+		msg, err := decodeMsg(tag, body, nil)
 		if err != nil {
 			return
 		}

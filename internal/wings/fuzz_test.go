@@ -17,7 +17,7 @@ func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
 		rng.Read(buf)
 		_, _ = DecodeOne(buf) // must not panic
 		for tp := uint8(0); tp < 12; tp++ {
-			_, _ = decodeMsg(tp, buf)
+			_, _ = decodeMsg(tp, buf, nil)
 		}
 	}
 }

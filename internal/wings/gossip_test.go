@@ -52,11 +52,11 @@ func TestEpochGossipHostileCounts(t *testing.T) {
 		{"empty body", nil},
 		{"count only, one short", []byte{1}},
 	} {
-		if _, err := decodeMsg(tEpochGossip, tc.body); !errors.Is(err, io.ErrUnexpectedEOF) {
+		if _, err := decodeMsg(tEpochGossip, tc.body, nil); !errors.Is(err, io.ErrUnexpectedEOF) {
 			t.Fatalf("%s: err=%v, want unexpected EOF", tc.name, err)
 		}
 	}
-	if _, err := decodeMsg(tEpochGossip, gossipBody(2, 3, 9)); err != nil {
+	if _, err := decodeMsg(tEpochGossip, gossipBody(2, 3, 9), nil); err != nil {
 		t.Fatalf("well-formed body rejected: %v", err)
 	}
 }
@@ -78,7 +78,7 @@ func TestEpochGossipNeverNestsInShardEnvelopes(t *testing.T) {
 	}
 	tagged := binary.LittleEndian.AppendUint16(nil, 1)
 	tagged = append(tagged, body...)
-	if _, err := decodeMsg(tShard, tagged); !errors.Is(err, ErrUnknownType) {
+	if _, err := decodeMsg(tShard, tagged, nil); !errors.Is(err, ErrUnknownType) {
 		t.Fatalf("decoder on shard-tagged EpochGossip: err=%v, want ErrUnknownType", err)
 	}
 }
@@ -90,7 +90,7 @@ func TestEpochGossipDecodeNeverPanics(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		buf := make([]byte, rng.Intn(64))
 		rng.Read(buf)
-		_, _ = decodeMsg(tEpochGossip, buf)
+		_, _ = decodeMsg(tEpochGossip, buf, nil)
 	}
 	valid, err := Encode(proto.EpochGossip{Epochs: []uint32{5, 6, 7, 8}})
 	if err != nil {

@@ -55,7 +55,7 @@ func TestMUpdateHostileCounts(t *testing.T) {
 		{"empty body", nil},
 		{"epoch only", []byte{1, 0, 0, 0}},
 	} {
-		if _, err := decodeMsg(tMUpdate, tc.body); !errors.Is(err, io.ErrUnexpectedEOF) {
+		if _, err := decodeMsg(tMUpdate, tc.body, nil); !errors.Is(err, io.ErrUnexpectedEOF) {
 			t.Fatalf("%s: err=%v, want unexpected EOF", tc.name, err)
 		}
 	}
@@ -100,7 +100,7 @@ func TestMUpdateNeverNestsInShardEnvelopes(t *testing.T) {
 	}
 	tagged := binary.LittleEndian.AppendUint16(nil, 1)
 	tagged = append(tagged, inner...)
-	if _, err := decodeMsg(tShard, tagged); !errors.Is(err, ErrUnknownType) {
+	if _, err := decodeMsg(tShard, tagged, nil); !errors.Is(err, ErrUnknownType) {
 		t.Fatalf("decoder on shard-tagged MUpdate: err=%v, want ErrUnknownType", err)
 	}
 }
@@ -112,7 +112,7 @@ func TestMUpdateDecodeNeverPanics(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		buf := make([]byte, rng.Intn(64))
 		rng.Read(buf)
-		_, _ = decodeMsg(tMUpdate, buf)
+		_, _ = decodeMsg(tMUpdate, buf, nil)
 	}
 	valid, err := Encode(proto.MUpdate{Shard: 2, View: proto.View{Epoch: 7,
 		Members: []proto.NodeID{0, 1, 2, 3, 4}, Learners: []proto.NodeID{5, 6}}})

@@ -82,13 +82,13 @@ func TestViewLogRespHostileCounts(t *testing.T) {
 		{"empty body", nil},
 		{"count only, one short", []byte{1}},
 	} {
-		if _, err := decodeMsg(tViewLogResp, tc.body); !errors.Is(err, io.ErrUnexpectedEOF) {
+		if _, err := decodeMsg(tViewLogResp, tc.body, nil); !errors.Is(err, io.ErrUnexpectedEOF) {
 			t.Fatalf("%s: err=%v, want unexpected EOF", tc.name, err)
 		}
 	}
 	// A lying member count inside an otherwise well-framed entry.
 	bad := viewlogRespBody(1, mupdateBody(5, 1, 0x7FFF, []byte{0}, 0, nil))
-	if _, err := decodeMsg(tViewLogResp, bad); !errors.Is(err, io.ErrUnexpectedEOF) {
+	if _, err := decodeMsg(tViewLogResp, bad, nil); !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatalf("lying inner member count: err=%v, want unexpected EOF", err)
 	}
 }
@@ -97,11 +97,11 @@ func TestViewLogReqTruncations(t *testing.T) {
 	full := binary.LittleEndian.AppendUint16(nil, 2)
 	full = binary.LittleEndian.AppendUint32(full, 7)
 	for cut := 0; cut < len(full); cut++ {
-		if _, err := decodeMsg(tViewLogReq, full[:cut]); !errors.Is(err, io.ErrUnexpectedEOF) {
+		if _, err := decodeMsg(tViewLogReq, full[:cut], nil); !errors.Is(err, io.ErrUnexpectedEOF) {
 			t.Fatalf("truncated at %d: err=%v, want unexpected EOF", cut, err)
 		}
 	}
-	if _, err := decodeMsg(tViewLogReq, full); err != nil {
+	if _, err := decodeMsg(tViewLogReq, full, nil); err != nil {
 		t.Fatalf("full body: %v", err)
 	}
 }
@@ -126,7 +126,7 @@ func TestViewLogNeverNestsInShardEnvelopes(t *testing.T) {
 		}
 		tagged := binary.LittleEndian.AppendUint16(nil, 1)
 		tagged = append(tagged, body...)
-		if _, err := decodeMsg(tShard, tagged); !errors.Is(err, ErrUnknownType) {
+		if _, err := decodeMsg(tShard, tagged, nil); !errors.Is(err, ErrUnknownType) {
 			t.Fatalf("decoder on shard-tagged %T: err=%v, want ErrUnknownType", inner, err)
 		}
 	}
@@ -139,8 +139,8 @@ func TestViewLogDecodeNeverPanics(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		buf := make([]byte, rng.Intn(96))
 		rng.Read(buf)
-		_, _ = decodeMsg(tViewLogReq, buf)
-		_, _ = decodeMsg(tViewLogResp, buf)
+		_, _ = decodeMsg(tViewLogReq, buf, nil)
+		_, _ = decodeMsg(tViewLogResp, buf, nil)
 	}
 	valid, err := Encode(proto.ViewLogResp{Updates: []proto.MUpdate{
 		{Shard: 0, View: proto.View{Epoch: 7, Members: []proto.NodeID{0, 1, 2}}},

@@ -20,10 +20,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/proto"
+	"repro/internal/refbuf"
 )
 
 // Frame layout:
@@ -388,6 +390,24 @@ func (r *reader) bytes() []byte {
 	return out
 }
 
+// bytesRef reads a length-prefixed byte field without copying: the result
+// aliases the frame buffer (three-index sliced so an append can never grow
+// into neighboring frame bytes). Callers must pair it with a reference on
+// the frame's refbuf.Buf — this is the zero-copy INV value path.
+func (r *reader) bytesRef() []byte {
+	n := int(r.u32())
+	if r.err != nil || r.off+n > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := r.b[r.off : r.off+n : r.off+n]
+	r.off += n
+	return out
+}
+
 func (r *reader) ts() proto.TS { return proto.TS{Version: r.u32(), CID: r.u16()} }
 
 // nodeIDs reads a [2B count][1B id]... node list. The count is validated
@@ -414,15 +434,28 @@ func (r *reader) nodeIDs() []proto.NodeID {
 	return out
 }
 
-// decodeMsg decodes one message body of the given type.
-func decodeMsg(t uint8, body []byte) (any, error) {
+// decodeMsg decodes one message body of the given type. When owner is
+// non-nil it is the pooled frame buffer body aliases, and value-bearing hot
+// path messages (INV) decode zero-copy: the value sub-slices the frame and
+// the message carries a retained reference the receiver must consume (adopt
+// into the store or release on a drop path). A nil owner forces the copying
+// decode — correct for standalone frames and codec paths with no refcount
+// discipline downstream.
+func decodeMsg(t uint8, body []byte, owner *refbuf.Buf) (any, error) {
 	r := &reader{b: body}
 	var msg any
 	switch t {
 	case tINV:
 		m := core.INV{Epoch: r.u32(), Key: proto.Key(r.u64()), TS: r.ts()}
 		m.RMW = r.boolv()
-		m.Value = r.bytes()
+		if owner != nil {
+			if m.Value = r.bytesRef(); m.Value != nil {
+				owner.Retain()
+				m.Owner = owner
+			}
+		} else {
+			m.Value = r.bytes()
+		}
 		msg = m
 	case tACK:
 		m := core.ACK{Epoch: r.u32(), Key: proto.Key(r.u64()), TS: r.ts()}
@@ -517,7 +550,7 @@ func decodeMsg(t uint8, body []byte) (any, error) {
 		}
 		msg = m
 	case tShard:
-		sm, err := decodeTagged(r)
+		sm, err := decodeTagged(r, owner)
 		if err != nil {
 			return nil, err
 		}
@@ -538,25 +571,42 @@ func decodeMsg(t uint8, body []byte) (any, error) {
 		}
 		b := proto.ShardBatch{Msgs: make([]proto.ShardMsg, 0, count)}
 		for i := 0; i < count; i++ {
-			sm, err := decodeTagged(r)
+			sm, err := decodeTagged(r, owner)
 			if err != nil {
+				// References already retained for earlier entries die with
+				// the batch: the stream is aborted on a decode error, so the
+				// frame buffer is simply never pooled again (GC reclaims it).
+				releaseShardMsgOwners(b.Msgs)
 				return nil, err
 			}
 			b.Msgs = append(b.Msgs, sm)
+		}
+		if r.err != nil {
+			releaseShardMsgOwners(b.Msgs)
+			return nil, r.err
 		}
 		msg = b
 	default:
 		return nil, ErrUnknownType
 	}
 	if r.err != nil {
+		core.ReleaseMsgOwners(msg)
 		return nil, r.err
 	}
 	return msg, nil
 }
 
+// releaseShardMsgOwners drops the frame references of partially decoded
+// batch entries when a later entry fails to decode.
+func releaseShardMsgOwners(msgs []proto.ShardMsg) {
+	for _, sm := range msgs {
+		core.ReleaseMsgOwners(sm.Msg)
+	}
+}
+
 // decodeTagged parses one [2B shard][1B type][4B len][payload] entry — the
 // body of a tShard message and the element of a tShardBatch.
-func decodeTagged(r *reader) (proto.ShardMsg, error) {
+func decodeTagged(r *reader, owner *refbuf.Buf) (proto.ShardMsg, error) {
 	shard := r.u16()
 	if r.err != nil {
 		return proto.ShardMsg{}, r.err
@@ -580,7 +630,7 @@ func decodeTagged(r *reader) (proto.ShardMsg, error) {
 	if n < 0 || r.off+n > len(r.b) {
 		return proto.ShardMsg{}, io.ErrUnexpectedEOF
 	}
-	inner, err := decodeMsg(it, r.b[r.off:r.off+n])
+	inner, err := decodeMsg(it, r.b[r.off:r.off+n], owner)
 	if err != nil {
 		return proto.ShardMsg{}, err
 	}
@@ -637,6 +687,15 @@ type LinkConfig struct {
 	// the credit (see transport.Mesh); nil keeps repayments local, which is
 	// correct when one link both sends and receives.
 	CreditReturn func(n int)
+	// CreditCost prices a credit-consuming message in send-window slots;
+	// nil charges 1. A coalesced batch of requests (INVs) costs one slot
+	// per inner request — each is repaid individually by its response —
+	// while a batch of one-way messages (VALs) still costs one, matching
+	// the receiver counting the whole batch once toward ExplicitEvery.
+	// Responses are never charged, regardless of this hook. Costs above the
+	// window size are clamped so an oversized batch cannot deadlock the
+	// sender.
+	CreditCost func(msg any) int
 }
 
 // Link is one flow-controlled, batching connection to a peer.
@@ -659,6 +718,7 @@ type Link struct {
 	// slow peer stalls only the flusher — Sends with credits keep queueing.
 	wmu sync.Mutex
 	w   *bufio.Writer // guarded by wmu
+	raw io.Writer     // the unbuffered stream, for vectored large-frame writes
 
 	recvSinceCredit int
 	stats           Stats
@@ -668,20 +728,39 @@ type Link struct {
 // NewLink wraps one side of a stream. Call Serve with the read side to pump
 // incoming messages.
 func NewLink(w io.Writer, cfg LinkConfig) *Link {
-	l := &Link{cfg: cfg, w: bufio.NewWriterSize(w, 64<<10), credits: cfg.Credits}
+	l := &Link{cfg: cfg, w: bufio.NewWriterSize(w, 64<<10), raw: w, credits: cfg.Credits}
 	l.sendCond = sync.NewCond(&l.mu)
 	return l
 }
 
 // Send encodes msg and queues it; it ships in the next batch. Blocks only
-// when flow-control credits are exhausted. A ShardBatch costs one credit
-// for the whole coalesced frame — that is the point of coalescing.
+// when flow-control credits are exhausted. A coalesced one-way batch costs
+// one credit for the whole frame — that is the point of coalescing — while
+// a request batch is priced per inner request via cfg.CreditCost.
+//
+// Send consumes msg's pooled-buffer value references (core.INV.Owner and
+// friends) on every path, success or failure: the encoder copies value
+// bytes into the send buffer synchronously, so the references are spent the
+// moment Send returns and callers must never release them afterward. For
+// the same reason a message holding frame references must be Sent at most
+// once (Broadcast is for owner-less messages).
 func (l *Link) Send(msg any) error {
-	needsCredit := l.cfg.Credits > 0 && !(l.cfg.IsResponse != nil && l.cfg.IsResponse(msg))
+	cost := 0
+	if l.cfg.Credits > 0 && !(l.cfg.IsResponse != nil && l.cfg.IsResponse(msg)) {
+		cost = 1
+		if l.cfg.CreditCost != nil {
+			if c := l.cfg.CreditCost(msg); c > 1 {
+				cost = c
+			}
+		}
+		if cost > l.cfg.Credits {
+			cost = l.cfg.Credits
+		}
+	}
 	l.mu.Lock()
-	if needsCredit {
+	if cost > 0 {
 		stalled := false
-		for l.credits <= 0 && !l.closed {
+		for l.credits < cost && !l.closed {
 			stalled = true
 			l.sendCond.Wait()
 		}
@@ -691,25 +770,28 @@ func (l *Link) Send(msg any) error {
 	}
 	if l.closed {
 		// No debit happened (or the closed-wakeup interrupted the wait
-		// before one): nothing to refund.
+		// before one): nothing to refund. The value references are still
+		// consumed — Send owns them unconditionally.
 		l.mu.Unlock()
+		core.ReleaseMsgOwners(msg)
 		return errors.New("wings: link closed")
 	}
-	if needsCredit {
-		l.credits--
-	}
+	l.credits -= cost
 	// appendMsg returns nil on error: keep the old buffer so an encode
 	// failure cannot wipe messages already queued by other senders.
 	encoded, err := appendMsg(l.pending, msg)
 	if err != nil {
-		if needsCredit {
-			// The message never shipped; give the credit back so the window
+		if cost > 0 {
+			// The message never shipped; give the credits back so the window
 			// does not shrink permanently on encode errors.
-			l.credits++
-			l.bumpStat(func(s *Stats) { s.CreditsRefunded++ })
+			l.credits += cost
+			l.bumpStat(func(s *Stats) { s.CreditsRefunded += uint64(cost) })
 			l.sendCond.Signal()
 		}
 		l.mu.Unlock()
+		// Exactly-once consumption on the failure path too: nothing was
+		// queued, so this is the last party holding the references.
+		core.ReleaseMsgOwners(msg)
 		return err
 	}
 	l.pending = encoded
@@ -719,6 +801,8 @@ func (l *Link) Send(msg any) error {
 	}
 	l.kickLocked()
 	l.mu.Unlock()
+	// The bytes are in the send buffer; the frame references are spent.
+	core.ReleaseMsgOwners(msg)
 	return nil
 }
 
@@ -812,15 +896,39 @@ func (l *Link) flushLoop() {
 		// Sends that still have credits — they keep piling into pending and
 		// ship in the next batch when this write completes.
 		l.wmu.Lock()
-		_, err1 := l.w.Write(hdr[:])
-		_, err2 := l.w.Write(body)
-		err3 := l.w.Flush()
+		err := l.writeFrame(hdr, body)
 		l.wmu.Unlock()
-		if err1 != nil || err2 != nil || err3 != nil {
+		if err != nil {
 			l.Close()
 			return
 		}
 	}
+}
+
+// vectoredMin is the body size past which a frame bypasses the bufio copy:
+// any buffered bytes are flushed first (frame order), then header and body
+// go to the kernel as one gathered write — writev on a net.Conn, two plain
+// writes elsewhere. Small frames keep the bufio path, where the copy is
+// cheaper than the extra syscall.
+const vectoredMin = 8 << 10
+
+// writeFrame ships one frame; caller holds wmu.
+func (l *Link) writeFrame(hdr [6]byte, body []byte) error {
+	if len(body) >= vectoredMin {
+		if err := l.w.Flush(); err != nil {
+			return err
+		}
+		bufs := net.Buffers{hdr[:], body}
+		_, err := bufs.WriteTo(l.raw)
+		return err
+	}
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.w.Write(body); err != nil {
+		return err
+	}
+	return l.w.Flush()
 }
 
 // sendCreditFrame grants n credits to the peer.
@@ -838,11 +946,18 @@ func (l *Link) sendCreditFrame(n int) {
 	l.bumpStat(func(s *Stats) { s.ExplicitCreditsSent++ })
 }
 
-// framePool recycles inbound frame buffers across Serve iterations (and
-// across links): the decoder copies every variable-length payload out of the
-// frame, so nothing escapes it and the buffer can be reused as soon as the
-// frame's messages have been dispatched.
+// framePool recycles inbound frame buffers for the copying decode paths
+// (ServeFrames): there the decoder copies every variable-length payload out
+// of the frame, so nothing escapes it and the buffer can be reused as soon
+// as the frame's messages have been dispatched.
 var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
+// frameBufs recycles the refcounted frame buffers of the link serve path,
+// where decoded INV values alias the frame (see decodeMsg): the serve loop
+// holds the initial reference for the frame's duration and each zero-copy
+// value holds its own, so the buffer returns to the pool only when the
+// store (or a drop path) releases the last adopted value.
+var frameBufs = refbuf.NewPool()
 
 // Serve reads frames from rd and dispatches messages to fn until error/EOF.
 func (l *Link) Serve(rd io.Reader, fn func(msg any)) error {
@@ -854,8 +969,11 @@ func (l *Link) Serve(rd io.Reader, fn func(msg any)) error {
 	}
 }
 
-// serveFrame reads and dispatches one frame, holding a pooled buffer for
-// exactly its duration.
+// serveFrame reads and dispatches one frame. The frame buffer is refcounted:
+// the serve loop's own reference lasts exactly the frame's duration, while
+// zero-copy INV values decoded out of it carry their own references, so a
+// frame with adopted values outlives this call and is pooled again only when
+// the store releases the last one.
 func (l *Link) serveFrame(br *bufio.Reader, fn func(msg any)) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -865,12 +983,9 @@ func (l *Link) serveFrame(br *bufio.Reader, fn func(msg any)) error {
 	if n < 2 || n > maxFrame {
 		return fmt.Errorf("wings: bad frame length %d", n)
 	}
-	bufp := framePool.Get().(*[]byte)
-	defer framePool.Put(bufp)
-	if cap(*bufp) < n {
-		*bufp = make([]byte, n)
-	}
-	frame := (*bufp)[:n]
+	fb := frameBufs.Get(n)
+	defer fb.Release()
+	frame := fb.Bytes()
 	if _, err := io.ReadFull(br, frame); err != nil {
 		return err
 	}
@@ -897,7 +1012,7 @@ func (l *Link) serveFrame(br *bufio.Reader, fn func(msg any)) error {
 			l.addCredits(grant)
 			continue
 		}
-		msg, err := decodeMsg(t, body)
+		msg, err := decodeMsg(t, body, fb)
 		if err != nil {
 			return err
 		}
@@ -1058,7 +1173,8 @@ func AppendFrame(buf []byte, msgs ...any) ([]byte, error) {
 // client is meaningless, so it is rejected like any other protocol
 // violation. The same hostile-input discipline as Link.Serve applies: frame
 // lengths are bounded, per-message lengths validated against the frame, and
-// decoded payloads are copied out so the pooled frame buffer never escapes.
+// decoded payloads are copied out (nil decode owner) so the pooled frame
+// buffer never escapes.
 func ServeFrames(rd io.Reader, fn func(msg any) error) error {
 	br := bufio.NewReaderSize(rd, 64<<10)
 	for {
@@ -1100,7 +1216,7 @@ func serveRawFrame(br *bufio.Reader, fn func(msg any) error) error {
 		if bodyLen < 0 || off+bodyLen > len(frame) {
 			return io.ErrUnexpectedEOF
 		}
-		msg, err := decodeMsg(t, frame[off:off+bodyLen])
+		msg, err := decodeMsg(t, frame[off:off+bodyLen], nil)
 		if err != nil {
 			return err
 		}
@@ -1110,6 +1226,34 @@ func serveRawFrame(br *bufio.Reader, fn func(msg any) error) error {
 		}
 	}
 	return nil
+}
+
+// AppendClientResps appends one wire frame carrying resps to buf — the
+// monomorphic sibling of AppendFrame for the serving layer's flusher: no
+// []any boxing per response, so a steady-state flush into a reused buffer
+// performs zero allocations. The wire bytes are identical to
+// AppendFrame(buf, resps...). At most MaxFrameMsgs responses fit one frame;
+// callers split larger batches.
+func AppendClientResps(buf []byte, resps []proto.ClientResp) ([]byte, error) {
+	if len(resps) == 0 || len(resps) > maxFrameMsgs {
+		return nil, fmt.Errorf("wings: frame of %d messages", len(resps))
+	}
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0) // length + count placeholder
+	for _, m := range resps {
+		if m.Status > proto.NotOperational {
+			return nil, ErrBadEnum
+		}
+		s := len(buf)
+		buf = append(buf, tClientResp, 0, 0, 0, 0)
+		buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+		buf = append(buf, byte(m.Status))
+		buf = appendBytes(buf, m.Value)
+		binary.LittleEndian.PutUint32(buf[s+1:], uint32(len(buf)-s-5))
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	binary.LittleEndian.PutUint16(buf[start+4:], uint16(len(resps)))
+	return buf, nil
 }
 
 // Encode serializes a single message into a standalone frame (tests, and
@@ -1135,5 +1279,5 @@ func DecodeOne(frame []byte) (any, error) {
 	if 11+n > len(frame) {
 		return nil, io.ErrUnexpectedEOF
 	}
-	return decodeMsg(t, frame[11:11+n])
+	return decodeMsg(t, frame[11:11+n], nil)
 }

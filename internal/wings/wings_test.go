@@ -139,8 +139,20 @@ func TestLinkDeliversMessages(t *testing.T) {
 	}
 	select {
 	case got := <-recvB:
-		if !reflect.DeepEqual(got, want) {
-			t.Fatalf("got %+v", got)
+		inv, ok := got.(core.INV)
+		if !ok {
+			t.Fatalf("got %T, want core.INV", got)
+		}
+		// A wire-decoded INV with a value arrives owner-backed: its Value is
+		// a zero-copy sub-slice of the pooled frame buffer, pinned by one
+		// reference the receiver must consume.
+		if inv.Owner == nil {
+			t.Fatalf("decoded INV carries no frame-buffer owner: %+v", inv)
+		}
+		inv.ReleaseOwner()
+		inv.Owner = nil
+		if !reflect.DeepEqual(inv, want) {
+			t.Fatalf("got %+v", inv)
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("timeout")
