@@ -4,14 +4,20 @@
 //
 // Usage:
 //
-//	hermes-vet [-list] [packages...]
+//	hermes-vet [-list] [-json] [packages...]
 //
 // Patterns default to ./... and are resolved by `go list` relative to the
 // current directory, so `go run ./cmd/hermes-vet ./...` from the repo root
 // checks the whole tree.
+//
+// With -json, every finding — including ones suppressed by an ignore
+// directive — is emitted as one JSON object per line with file, line, col,
+// analyzer, message, and ignored fields; the exit code still reflects only
+// the surviving findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,17 +28,14 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as JSON lines (includes ignored findings)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: hermes-vet [-list] [packages...]\n\nAnalyzers:\n")
-		for _, a := range analysis.All() {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
-		}
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hermes-vet [-list] [-json] [packages...]\n\nAnalyzers:\n")
+		writeAnalyzerListing(flag.CommandLine.Output())
 	}
 	flag.Parse()
 	if *list {
-		for _, a := range analysis.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
-		}
+		writeAnalyzerListing(os.Stdout)
 		return
 	}
 
@@ -41,7 +44,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hermes-vet:", err)
 		os.Exit(2)
 	}
-	n, err := vet(dir, flag.Args(), os.Stdout)
+	n, err := vet(dir, flag.Args(), os.Stdout, *asJSON)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hermes-vet:", err)
 		os.Exit(2)
@@ -52,17 +55,65 @@ func main() {
 	}
 }
 
-// vet loads the packages and prints each diagnostic, returning the count.
-func vet(dir string, patterns []string, out io.Writer) (int, error) {
+// writeAnalyzerListing prints one "name  doc" line per registered analyzer.
+// Both the -list flag and the usage text go through here so the two can
+// never drift apart.
+func writeAnalyzerListing(w io.Writer) {
+	for _, a := range analysis.All() {
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}
+
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Ignored  bool   `json:"ignored"`
+}
+
+func toFinding(d analysis.Diagnostic, ignored bool) finding {
+	return finding{
+		File:     d.Pos.Filename,
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Column,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+		Ignored:  ignored,
+	}
+}
+
+// vet loads the packages and prints each diagnostic, returning the count of
+// findings that survived their ignore directives (the count that decides the
+// exit code). In JSON mode suppressed findings are printed too, marked
+// ignored, but do not count.
+func vet(dir string, patterns []string, out io.Writer, asJSON bool) (int, error) {
 	pkgs, err := analysis.Load(dir, patterns...)
 	if err != nil {
 		return 0, err
 	}
+	enc := json.NewEncoder(out)
 	total := 0
 	for _, pkg := range pkgs {
-		for _, d := range analysis.RunAnalyzers(pkg, analysis.All()) {
-			fmt.Fprintln(out, d)
+		res := analysis.RunAnalyzersDetail(pkg, analysis.All())
+		for _, d := range res.Kept {
+			if asJSON {
+				if err := enc.Encode(toFinding(d, false)); err != nil {
+					return total, err
+				}
+			} else {
+				fmt.Fprintln(out, d)
+			}
 			total++
+		}
+		if asJSON {
+			for _, d := range res.Suppressed {
+				if err := enc.Encode(toFinding(d, true)); err != nil {
+					return total, err
+				}
+			}
 		}
 	}
 	return total, nil

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 // The repo itself must vet clean — this is the same gate CI applies, kept
@@ -12,7 +15,7 @@ func TestRepoVetsClean(t *testing.T) {
 		t.Skip("loads and type-checks the whole repo")
 	}
 	var out strings.Builder
-	n, err := vet("../..", []string{"./..."}, &out)
+	n, err := vet("../..", []string{"./..."}, &out, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,16 +31,71 @@ func TestGoldenTreeHasFindings(t *testing.T) {
 		t.Skip("loads and type-checks the golden module")
 	}
 	var out strings.Builder
-	n, err := vet("../../internal/analysis/testdata", []string{"./..."}, &out)
+	n, err := vet("../../internal/analysis/testdata", []string{"./..."}, &out, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n == 0 {
 		t.Fatal("expected findings in the golden tree, got none")
 	}
-	for _, analyzer := range []string{"eventloop", "atomicfield", "wingscodec", "exhaustive", "determinism"} {
+	for _, analyzer := range []string{"eventloop", "atomicfield", "wingscodec", "exhaustive", "determinism", "reftrack", "creditflow", "lockorder"} {
 		if !strings.Contains(out.String(), "["+analyzer+"]") {
 			t.Errorf("no %s finding surfaced through the CLI:\n%s", analyzer, out.String())
 		}
+	}
+}
+
+// -json emits one object per finding with the documented fields, and marks
+// directive-suppressed findings ignored instead of dropping them.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the golden module")
+	}
+	var out strings.Builder
+	n, err := vet("../../internal/analysis/testdata", []string{"./reftrack/..."}, &out, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("expected surviving findings in the reftrack golden tree")
+	}
+	dec := json.NewDecoder(strings.NewReader(out.String()))
+	var kept, ignored int
+	for dec.More() {
+		var f finding
+		if err := dec.Decode(&f); err != nil {
+			t.Fatalf("decoding finding: %v\noutput:\n%s", err, out.String())
+		}
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding missing fields: %+v", f)
+		}
+		if f.Ignored {
+			ignored++
+		} else {
+			kept++
+		}
+	}
+	if kept != n {
+		t.Errorf("JSON stream has %d kept findings, vet counted %d", kept, n)
+	}
+	// The golden tree's waived() case suppresses one reftrack finding.
+	if ignored == 0 {
+		t.Error("expected at least one ignored finding in the JSON stream (the waived golden case)")
+	}
+}
+
+// Every registered analyzer must appear in the shared listing used by both
+// -list and the usage text; the two are the same helper, so this pins that
+// neither path can miss an analyzer.
+func TestAnalyzerListingComplete(t *testing.T) {
+	var out strings.Builder
+	writeAnalyzerListing(&out)
+	for _, a := range analysis.All() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("analyzer %q missing from the listing:\n%s", a.Name, out.String())
+		}
+	}
+	if got, want := strings.Count(out.String(), "\n"), len(analysis.All()); got != want {
+		t.Errorf("listing has %d lines, want one per analyzer (%d)", got, want)
 	}
 }

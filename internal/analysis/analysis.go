@@ -1,7 +1,7 @@
 // Package analysis is hermes-vet: a suite of static analyzers that turn the
 // repository's protocol invariants — conventions that previously lived only
 // in comments and were enforced only by after-the-fact tests — into
-// build-breaking checks. The six analyzers are:
+// build-breaking checks. The nine analyzers are:
 //
 //   - eventloop: code reachable from protocol message handlers and the live
 //     runtime's event-loop callbacks must never block (PR 6's "only enqueue"
@@ -21,6 +21,19 @@
 //     (structs carrying an Owner *refbuf.Buf) must not escape into
 //     owner-less destinations without a clone, and adopting literals must
 //     carry the owner (PR 9's zero-copy value path).
+//   - reftrack: interprocedural reference balance — every frame-buffer
+//     reference acquired (Retain, TryRetain, Pool.Get, a call returning a
+//     retained buffer) must be spent exactly once on every path; flags
+//     leaks, double releases and no-clone aliasing through same-package
+//     helpers (the cross-call blindness bufown documents).
+//   - creditflow: transport credit discipline — error paths of
+//     credit-debiting functions must refund, and one-way/response
+//     classification must be disjoint and all-member (PR 2 post-mortem).
+//   - lockorder: no blocking operations while holding a mutex, and the
+//     lock-acquisition-order graph must be acyclic.
+//
+// The last three run on the summary-based interprocedural engine in
+// engine.go (call graph, per-function effect summaries, fixpoint).
 //
 // The suite is deliberately built on the standard library only (go/ast,
 // go/types, `go list -export`): the container that grows this repo has no
@@ -35,7 +48,8 @@
 //	//hermesvet:ignore <analyzer>[,<analyzer>...] <justification>
 //
 // The justification is mandatory; a directive without one is itself a
-// diagnostic. `all` matches every analyzer.
+// diagnostic, and so is a stale directive — one that suppresses no finding
+// of any analyzer in the run. `all` matches every analyzer.
 package analysis
 
 import (
@@ -100,6 +114,10 @@ type ignoreDirective struct {
 	reason    string
 	malformed string // non-empty: why the directive is unusable
 	used      bool
+	// fromTest marks directives in _test.go files; they are exempt from
+	// stale-waiver detection (analyzers never report into test files, so
+	// their directives are documentation, not suppression).
+	fromTest bool
 }
 
 func (d *ignoreDirective) matches(analyzer string) bool {
@@ -149,11 +167,12 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) []*ignoreDirective 
 	return out
 }
 
-// filterIgnored drops diagnostics suppressed by a directive on the same line
-// or the line immediately above, marking the directives used.
-func filterIgnored(diags []Diagnostic, dirs []*ignoreDirective) []Diagnostic {
+// filterIgnored splits diagnostics into kept and suppressed — a directive
+// on the same line or the line immediately above suppresses, and is marked
+// used.
+func filterIgnored(diags []Diagnostic, dirs []*ignoreDirective) (kept, suppressed []Diagnostic) {
 	if len(dirs) == 0 {
-		return diags
+		return diags, nil
 	}
 	byLine := map[string]map[int][]*ignoreDirective{}
 	for _, d := range dirs {
@@ -162,27 +181,43 @@ func filterIgnored(diags []Diagnostic, dirs []*ignoreDirective) []Diagnostic {
 		}
 		byLine[d.file][d.line] = append(byLine[d.file][d.line], d)
 	}
-	var kept []Diagnostic
 	for _, dg := range diags {
-		suppressed := false
+		hit := false
 		for _, line := range []int{dg.Pos.Line, dg.Pos.Line - 1} {
 			for _, d := range byLine[dg.Pos.Filename][line] {
 				if d.matches(dg.Analyzer) {
 					d.used = true
-					suppressed = true
+					hit = true
 				}
 			}
 		}
-		if !suppressed {
+		if hit {
+			suppressed = append(suppressed, dg)
+		} else {
 			kept = append(kept, dg)
 		}
 	}
-	return kept
+	return kept, suppressed
 }
 
 // directiveDiagnostics reports malformed directives (once per package, not
-// per analyzer) under the pseudo-analyzer name "hermesvet".
-func directiveDiagnostics(dirs []*ignoreDirective) []Diagnostic {
+// per analyzer) and — when the run's analyzer set can vouch for it — stale
+// ones, under the pseudo-analyzer name "hermesvet". A directive is stale
+// when it is well formed, lives in a non-test file, suppressed zero
+// findings, and every analyzer it names ran (for `all`, when the whole
+// registered suite ran): the code it excused no longer trips the check, so
+// the waiver must not outlive it.
+func directiveDiagnostics(dirs []*ignoreDirective, ranAnalyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range ranAnalyzers {
+		ran[a.Name] = true
+	}
+	fullSuite := true
+	for _, a := range All() {
+		if !ran[a.Name] {
+			fullSuite = false
+		}
+	}
 	var out []Diagnostic
 	for _, d := range dirs {
 		if d.malformed != "" {
@@ -191,15 +226,52 @@ func directiveDiagnostics(dirs []*ignoreDirective) []Diagnostic {
 				Pos:      token.Position{Filename: d.file, Line: d.line, Column: 1},
 				Message:  "malformed ignore directive: " + d.malformed,
 			})
+			continue
+		}
+		if d.used || d.fromTest {
+			continue
+		}
+		verifiable := true
+		for _, name := range d.analyzers {
+			if name == "all" {
+				verifiable = verifiable && fullSuite
+			} else {
+				verifiable = verifiable && ran[name]
+			}
+		}
+		if verifiable {
+			out = append(out, Diagnostic{
+				Analyzer: "hermesvet",
+				Pos:      token.Position{Filename: d.file, Line: d.line, Column: 1},
+				Message: fmt.Sprintf("stale ignore directive (%s): it suppresses no finding — remove it or re-justify it against the current code",
+					strings.Join(d.analyzers, ",")),
+			})
 		}
 	}
 	return out
 }
 
+// VetResult is one package's full analyzer outcome: the surviving findings
+// and the ones an ignore directive suppressed (machine consumers — the
+// -json output — want both).
+type VetResult struct {
+	Kept       []Diagnostic
+	Suppressed []Diagnostic
+}
+
 // RunAnalyzers executes the analyzers over one loaded package and returns
 // the surviving (non-ignored) diagnostics in file/line order.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	dirs := parseDirectives(pkg.Fset, append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...))
+	return RunAnalyzersDetail(pkg, analyzers).Kept
+}
+
+// RunAnalyzersDetail is RunAnalyzers keeping the suppressed findings too.
+func RunAnalyzersDetail(pkg *Package, analyzers []*Analyzer) VetResult {
+	dirs := parseDirectives(pkg.Fset, pkg.Files)
+	for _, d := range parseDirectives(pkg.Fset, pkg.TestFiles) {
+		d.fromTest = true
+		dirs = append(dirs, d)
+	}
 	var all []Diagnostic
 	for _, a := range analyzers {
 		var diags []Diagnostic
@@ -215,8 +287,14 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		a.Run(pass)
 		all = append(all, diags...)
 	}
-	all = filterIgnored(all, dirs)
-	all = append(all, directiveDiagnostics(dirs)...)
+	kept, suppressed := filterIgnored(all, dirs)
+	kept = append(kept, directiveDiagnostics(dirs, analyzers)...)
+	sortDiags(kept)
+	sortDiags(suppressed)
+	return VetResult{Kept: kept, Suppressed: suppressed}
+}
+
+func sortDiags(all []Diagnostic) {
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -230,7 +308,6 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return all
 }
 
 // All returns the full hermes-vet suite in a stable order.
@@ -242,5 +319,8 @@ func All() []*Analyzer {
 		ExhaustiveAnalyzer,
 		DeterminismAnalyzer,
 		BufOwnAnalyzer,
+		RefTrackAnalyzer,
+		CreditFlowAnalyzer,
+		LockOrderAnalyzer,
 	}
 }

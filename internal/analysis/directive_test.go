@@ -54,8 +54,48 @@ func f() {
 			t.Errorf("'all' directive should match %s", name)
 		}
 	}
-	if got := len(directiveDiagnostics(dirs)); got != 2 {
+	// With no analyzers ran, only the two malformed directives are
+	// diagnosed — staleness of the others cannot be vouched for.
+	if got := len(directiveDiagnostics(dirs, nil)); got != 2 {
 		t.Fatalf("got %d malformed-directive diagnostics, want 2", got)
+	}
+}
+
+func TestStaleDirectiveDetection(t *testing.T) {
+	mk := func(used, fromTest bool, analyzers ...string) []*ignoreDirective {
+		return []*ignoreDirective{{
+			file: "a.go", line: 1, analyzers: analyzers, reason: "r",
+			used: used, fromTest: fromTest,
+		}}
+	}
+	countStale := func(dirs []*ignoreDirective, ran []*Analyzer) int {
+		n := 0
+		for _, d := range directiveDiagnostics(dirs, ran) {
+			if d.Analyzer == "hermesvet" && d.Message != "" && d.Pos.Line == 1 {
+				n++
+			}
+		}
+		return n
+	}
+	full := All()
+	one := []*Analyzer{EventLoopAnalyzer}
+	cases := []struct {
+		name string
+		dirs []*ignoreDirective
+		ran  []*Analyzer
+		want int
+	}{
+		{"unused directive, its analyzer ran", mk(false, false, "eventloop"), one, 1},
+		{"used directive", mk(true, false, "eventloop"), one, 0},
+		{"unused but its analyzer did not run", mk(false, false, "bufown"), one, 0},
+		{"unused in a test file", mk(false, true, "eventloop"), one, 0},
+		{"unused 'all' with the full suite", mk(false, false, "all"), full, 1},
+		{"unused 'all' with a partial run", mk(false, false, "all"), one, 0},
+	}
+	for _, tc := range cases {
+		if got := countStale(tc.dirs, tc.ran); got != tc.want {
+			t.Errorf("%s: got %d stale diagnostics, want %d", tc.name, got, tc.want)
+		}
 	}
 }
 
@@ -70,9 +110,12 @@ func TestFilterIgnored(t *testing.T) {
 		{Analyzer: "eventloop", Pos: token.Position{Filename: "a.go", Line: 13}},   // out of range: kept
 		{Analyzer: "eventloop", Pos: token.Position{Filename: "b.go", Line: 10}},   // wrong file: kept
 	}
-	kept := filterIgnored(diags, dirs)
+	kept, suppressed := filterIgnored(diags, dirs)
 	if len(kept) != 3 {
 		t.Fatalf("kept %d diagnostics, want 3: %v", len(kept), kept)
+	}
+	if len(suppressed) != 2 {
+		t.Fatalf("suppressed %d diagnostics, want 2: %v", len(suppressed), suppressed)
 	}
 	if !dirs[0].used {
 		t.Error("directive should be marked used")

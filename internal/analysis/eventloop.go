@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"go/ast"
-	"go/constant"
 	"go/token"
 	"go/types"
 	"strings"
@@ -24,8 +23,10 @@ import (
 //
 // Blocking operations flagged on any statically reachable same-package path:
 // sync mutex/RWMutex Lock and RLock, WaitGroup/Cond Wait, time.Sleep,
-// net socket Read/Write/Accept, channel sends and receives on channels not
-// provably buffered in the same function, and selects without a default.
+// net socket Read/Write/Accept, channel sends on channels without provable
+// buffer headroom (chanProvablyBuffered: local buffered makes, buffered
+// package vars, and pool-backed completion-channel fields all qualify),
+// channel receives, and selects without a default.
 // Goroutine bodies (`go ...`) are exempt — launching is the sanctioned way
 // to move blocking work off the loop.
 var EventLoopAnalyzer = &Analyzer{
@@ -120,7 +121,7 @@ func (c *eventLoopChecker) walk(n ast.Node, chain []string, exemptComm map[ast.N
 			}
 			return true
 		case *ast.SendStmt:
-			if !exemptComm[n] && !c.provablyBuffered(n.Chan, funcBody) {
+			if !exemptComm[n] && !chanProvablyBuffered(c.pass, n.Chan, funcBody) {
 				c.report(n.Pos(), chain, "channel send may block the event loop (channel not provably buffered here)")
 			}
 		case *ast.UnaryExpr:
@@ -197,45 +198,6 @@ func blockingStdCall(fn *types.Func) string {
 		}
 	}
 	return ""
-}
-
-// provablyBuffered reports whether ch is an identifier bound in funcBody by
-// `ch := make(chan T, N)` with constant N > 0 — the one case a send is known
-// not to block the sender arbitrarily (the contract tolerates bounded
-// buffered handoff; an unknown or unbuffered channel it does not).
-func (c *eventLoopChecker) provablyBuffered(ch ast.Expr, funcBody *ast.BlockStmt) bool {
-	id, ok := ast.Unparen(ch).(*ast.Ident)
-	if !ok {
-		return false
-	}
-	obj := c.pass.Info.Uses[id]
-	if obj == nil {
-		return false
-	}
-	buffered := false
-	ast.Inspect(funcBody, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok {
-			return true
-		}
-		for i, lhs := range as.Lhs {
-			lid, ok := lhs.(*ast.Ident)
-			if !ok || c.pass.Info.Defs[lid] != obj || i >= len(as.Rhs) {
-				continue
-			}
-			mk, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
-			if !ok || !isBuiltinCall(c.pass.Info, mk, "make") || len(mk.Args) != 2 {
-				continue
-			}
-			if tv, ok := c.pass.Info.Types[mk.Args[1]]; ok && tv.Value != nil {
-				if v, ok := constant.Int64Val(tv.Value); ok && v > 0 {
-					buffered = true
-				}
-			}
-		}
-		return true
-	})
-	return buffered
 }
 
 func (c *eventLoopChecker) report(pos token.Pos, chain []string, msg string) {

@@ -1,6 +1,8 @@
 package analysis_test
 
 import (
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
@@ -36,6 +38,46 @@ func TestBufOwnGolden(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.BufOwnAnalyzer, "./bufown/...")
 }
 
+func TestRefTrackGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.RefTrackAnalyzer, "./reftrack/...")
+}
+
+func TestCreditFlowGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.CreditFlowAnalyzer, "./creditflow/...")
+}
+
+func TestLockOrderGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockOrderAnalyzer, "./lockorder/...")
+}
+
+// TestStaleWaiverGolden runs the full suite over a package whose only
+// directive suppresses nothing: the directive itself must be the one finding.
+// (Want comments can't express this — a directive line cannot carry a second
+// comment — so the reconciliation is done directly.)
+func TestStaleWaiverGolden(t *testing.T) {
+	pkgs, err := analysis.Load("testdata", "./stale/...")
+	if err != nil {
+		t.Fatalf("loading stale fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	diags := analysis.RunAnalyzers(pkgs[0], analysis.All())
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the stale-directive finding: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "hermesvet" {
+		t.Errorf("finding attributed to %q, want the hermesvet pseudo-analyzer", d.Analyzer)
+	}
+	if !strings.Contains(d.Message, "stale ignore directive (bufown)") {
+		t.Errorf("unexpected message: %q", d.Message)
+	}
+	if filepath.Base(d.Pos.Filename) != "app.go" || d.Pos.Line != 7 {
+		t.Errorf("finding at %s:%d, want app.go:7 (the directive's line)", filepath.Base(d.Pos.Filename), d.Pos.Line)
+	}
+}
+
 func TestAllAnalyzersDistinct(t *testing.T) {
 	seen := map[string]bool{}
 	for _, a := range analysis.All() {
@@ -47,7 +89,7 @@ func TestAllAnalyzersDistinct(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 6 {
-		t.Fatalf("expected 6 analyzers, got %d", len(seen))
+	if len(seen) != 9 {
+		t.Fatalf("expected 9 analyzers, got %d", len(seen))
 	}
 }

@@ -1,0 +1,1081 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// refInterp is an abstract interpreter for frame-buffer reference balance.
+// It walks one function body tracking references acquired there (Retain,
+// TryRetain guards, Pool.Get, calls whose summary returns an acquired
+// reference) and the spend events that balance them (Release, adoption into
+// an Owner field, transfer to a consuming callee, return to the caller).
+// The engine runs it silently to compute summaries; reftrack runs it with a
+// report sink to flag leaks, double releases and path imbalances.
+//
+// The interpreter is deliberately forgiving: any shape it cannot model —
+// address-of, closure capture, storage into containers, reassignment over a
+// live reference, channel sends — demotes the reference to "unknown", which
+// produces no findings. Precision is spent where the historical bugs live:
+// straight-line and branchy code that drops or double-spends a reference it
+// just acquired.
+
+// refKey identifies one tracked reference: a root object (local or
+// parameter) plus an optional single field hop (ep.Owner).
+type refKey struct {
+	root  types.Object
+	field types.Object
+}
+
+func (k refKey) zero() bool { return k.root == nil }
+
+// refInfo is the abstract state of one tracked reference.
+type refInfo struct {
+	obl      int    // outstanding spend obligations
+	unknown  bool   // modeling gave up; no findings for this ref
+	returned bool   // transferred to the caller via return
+	kind     string // how it was acquired, for diagnostics
+	pos      token.Pos
+	notes    []string // assumptions worth surfacing in a leak report
+}
+
+func (i *refInfo) clone() *refInfo {
+	c := *i
+	c.notes = append([]string(nil), i.notes...)
+	return &c
+}
+
+// refState is the abstract state along one control-flow path.
+type refState struct {
+	refs map[refKey]*refInfo
+	dead bool
+}
+
+func (s *refState) clone() *refState {
+	c := &refState{refs: make(map[refKey]*refInfo, len(s.refs)), dead: s.dead}
+	for k, v := range s.refs {
+		c.refs[k] = v.clone()
+	}
+	return c
+}
+
+// refExit is the state snapshot at one function exit.
+type refExit struct {
+	state *refState
+	// returnedKeys[i] is the tracked key returned at result position i
+	// (zero key if none).
+	returnedKeys []refKey
+	// acquiredResults are result positions filled directly by an acquiring
+	// call (`return pool.Get(n)`).
+	acquiredResults []int
+}
+
+type refInterp struct {
+	e      *Engine
+	report func(pos token.Pos, format string, args ...any) // nil: summary mode
+	exits  []*refExit
+	seeds  map[refKey]bool // parameters seeded by the engine (summary mode)
+	// reportedAt dedupes per-acquisition reports across exits and merges.
+	reportedAt map[token.Pos]bool
+}
+
+func newRefInterp(e *Engine, report func(pos token.Pos, format string, args ...any)) *refInterp {
+	return &refInterp{e: e, report: report, seeds: map[refKey]bool{}, reportedAt: map[token.Pos]bool{}}
+}
+
+func (in *refInterp) newState() *refState {
+	st := &refState{refs: map[refKey]*refInfo{}}
+	for k := range in.seeds {
+		st.refs[k] = &refInfo{obl: 1, kind: "parameter", pos: k.root.Pos()}
+	}
+	return st
+}
+
+// seed marks a parameter as carrying one transferred reference (summary
+// mode: the engine asks whether the function consumes it).
+func (in *refInterp) seed(k refKey, pos token.Pos) {
+	in.seeds[k] = true
+}
+
+func (in *refInterp) reportf(pos token.Pos, format string, args ...any) {
+	if in.report == nil || in.reportedAt[pos] {
+		return
+	}
+	in.reportedAt[pos] = true
+	in.report(pos, format, args...)
+}
+
+// keyOf resolves expr to a trackable reference location: an identifier, or
+// a one-level field selector on an identifier.
+func (in *refInterp) keyOf(expr ast.Expr) refKey {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if obj := in.e.pass.Info.Uses[x]; obj != nil {
+			return refKey{root: obj}
+		}
+		if obj := in.e.pass.Info.Defs[x]; obj != nil {
+			return refKey{root: obj}
+		}
+	case *ast.SelectorExpr:
+		root, ok := ast.Unparen(x.X).(*ast.Ident)
+		if !ok {
+			return refKey{}
+		}
+		rootObj := in.e.pass.Info.Uses[root]
+		if rootObj == nil {
+			return refKey{}
+		}
+		if sel, ok := in.e.pass.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return refKey{root: rootObj, field: sel.Obj()}
+		}
+	}
+	return refKey{}
+}
+
+func (in *refInterp) track(st *refState, k refKey, kind string, pos token.Pos) *refInfo {
+	info := st.refs[k]
+	if info == nil {
+		info = &refInfo{kind: kind, pos: pos}
+		st.refs[k] = info
+	}
+	return info
+}
+
+// acquire adds one obligation to k.
+func (in *refInterp) acquire(st *refState, k refKey, kind string, pos token.Pos) {
+	info := in.track(st, k, kind, pos)
+	if info.unknown {
+		return
+	}
+	if info.obl == 0 {
+		// A fresh acquisition (or re-acquisition after balance) re-anchors
+		// the diagnostic at this site.
+		info.kind, info.pos = kind, pos
+	}
+	info.obl++
+}
+
+// spend consumes one obligation of k; how describes the event for the
+// double-release diagnostic.
+func (in *refInterp) spend(st *refState, k refKey, pos token.Pos, how string) {
+	info := st.refs[k]
+	if info == nil || info.unknown {
+		return // inherited reference — not ours to balance
+	}
+	if info.obl == 0 {
+		in.reportf(pos, "frame-buffer reference already spent is %s again (double release: the pool would hand the same bytes to two owners)", how)
+		return
+	}
+	info.obl--
+}
+
+func (in *refInterp) markUnknown(st *refState, k refKey) {
+	if info := st.refs[k]; info != nil {
+		info.unknown = true
+	}
+}
+
+// markRootUnknown demotes every tracked reference rooted at obj.
+func (in *refInterp) markRootUnknown(st *refState, obj types.Object) {
+	for k, info := range st.refs {
+		if k.root == obj {
+			info.unknown = true
+		}
+	}
+}
+
+// spendRoot transfers every live reference rooted at obj (a `return *ep`
+// hands the pinned entry — and its reference — to the caller).
+func (in *refInterp) spendRoot(st *refState, obj types.Object, returned bool) {
+	for k, info := range st.refs {
+		if k.root == obj && !info.unknown && info.obl > 0 {
+			info.obl = 0
+			info.returned = returned
+		}
+	}
+}
+
+// recordExit snapshots the fall-off-the-end exit (ret is nil there).
+func (in *refInterp) recordExit(st *refState, ret *ast.ReturnStmt) {
+	in.recordExitKeys(st, nil, nil)
+}
+
+func (in *refInterp) recordExitKeys(st *refState, keys []refKey, acquired []int) {
+	in.exits = append(in.exits, &refExit{state: st.clone(), returnedKeys: keys, acquiredResults: acquired})
+}
+
+// --- statement walking -----------------------------------------------------
+
+func (in *refInterp) block(b *ast.BlockStmt, st *refState) {
+	for _, s := range b.List {
+		if st.dead {
+			return
+		}
+		in.stmt(s, st)
+	}
+}
+
+func (in *refInterp) stmt(s ast.Stmt, st *refState) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		in.block(s, st)
+	case *ast.ExprStmt:
+		in.exprStmt(s.X, st)
+	case *ast.AssignStmt:
+		in.assign(s, st)
+	case *ast.DeclStmt:
+		in.decl(s, st)
+	case *ast.IfStmt:
+		in.ifStmt(s, st)
+	case *ast.ReturnStmt:
+		in.ret(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			in.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			in.eval(s.Cond, st)
+		}
+		in.loopBody(s.Body, st, s.Post)
+	case *ast.RangeStmt:
+		in.eval(s.X, st)
+		in.loopBody(s.Body, st, nil)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			in.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			in.eval(s.Tag, st)
+		}
+		in.branches(clauseBodies(s.Body), hasDefaultClause(s.Body), st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			in.stmt(s.Init, st)
+		}
+		in.branches(clauseBodies(s.Body), hasDefaultClause(s.Body), st)
+	case *ast.SelectStmt:
+		in.branches(commBodies(s.Body), true, st)
+	case *ast.SendStmt:
+		in.eval(s.Chan, st)
+		if k := in.keyOf(s.Value); !k.zero() {
+			in.markUnknown(st, k)
+		} else {
+			in.eval(s.Value, st)
+		}
+	case *ast.DeferStmt:
+		in.deferStmt(s, st)
+	case *ast.GoStmt:
+		// The goroutine takes everything it references with it.
+		in.escapeAll(s.Call, st)
+	case *ast.LabeledStmt:
+		in.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto exit the structured region the walker models;
+		// anything live crossing the edge is beyond this interpreter.
+		for _, info := range st.refs {
+			if info.obl > 0 {
+				info.unknown = true
+			}
+		}
+		st.dead = true
+	case *ast.IncDecStmt:
+		in.eval(s.X, st)
+	}
+}
+
+func clauseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func commBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CommClause); ok {
+			stmts := cc.Body
+			if cc.Comm != nil {
+				stmts = append([]ast.Stmt{cc.Comm}, stmts...)
+			}
+			out = append(out, stmts)
+		}
+	}
+	return out
+}
+
+// branches walks each alternative from a clone of st and merges the
+// surviving states. withImplicit adds the fall-through path (a switch with
+// no default, an if with no else).
+func (in *refInterp) branches(bodies [][]ast.Stmt, hasDefault bool, st *refState) {
+	var outs []*refState
+	for _, body := range bodies {
+		bs := st.clone()
+		for _, s := range body {
+			if bs.dead {
+				break
+			}
+			in.stmt(s, bs)
+		}
+		if !bs.dead {
+			outs = append(outs, bs)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, st.clone())
+	}
+	in.mergeInto(st, outs)
+}
+
+// mergeInto replaces st's refs with the merge of the surviving branch
+// states. A reference live in one branch and spent in another is the
+// classic path imbalance and is reported (when the ref predates the
+// branch); a reference acquired in only some branches is demoted to
+// unknown without a report (its balance is usually guarded by the same
+// condition that acquired it).
+func (in *refInterp) mergeInto(st *refState, outs []*refState) {
+	if len(outs) == 0 {
+		st.dead = true
+		return
+	}
+	keys := map[refKey]bool{}
+	for _, o := range outs {
+		for k := range o.refs {
+			keys[k] = true
+		}
+	}
+	merged := map[refKey]*refInfo{}
+	for k := range keys {
+		var first *refInfo
+		everywhere, conflict, anyUnknown := true, false, false
+		for _, o := range outs {
+			info := o.refs[k]
+			if info == nil {
+				everywhere = false
+				continue
+			}
+			if info.unknown {
+				anyUnknown = true
+			}
+			if first == nil {
+				first = info.clone()
+			} else if info.obl != first.obl {
+				conflict = true
+				if info.obl > first.obl {
+					first = info.clone() // keep the live side's anchor
+				}
+			} else {
+				first.notes = mergeNotes(first.notes, info.notes)
+			}
+			first.returned = first.returned || info.returned
+		}
+		switch {
+		case anyUnknown:
+			first.unknown = true
+		case !everywhere:
+			if first.obl > 0 {
+				first.unknown = true
+			}
+		case conflict:
+			if preBranch := st.refs[k]; preBranch != nil && !preBranch.unknown {
+				in.reportf(first.pos,
+					"frame-buffer reference acquired by %s is spent on some paths but not others: every path must spend it exactly once%s",
+					first.kind, noteSuffix(first.notes))
+			}
+			first.unknown = true
+		}
+		merged[k] = first
+	}
+	st.refs = merged
+	st.dead = false
+}
+
+func mergeNotes(a, b []string) []string {
+	seen := map[string]bool{}
+	for _, n := range a {
+		seen[n] = true
+	}
+	for _, n := range b {
+		if !seen[n] {
+			a = append(a, n)
+			seen[n] = true
+		}
+	}
+	return a
+}
+
+func noteSuffix(notes []string) string {
+	if len(notes) == 0 {
+		return ""
+	}
+	sort.Strings(notes)
+	return " (" + strings.Join(notes, "; ") + ")"
+}
+
+// loopBody walks a loop body once on a clone. References acquired inside
+// the body must balance by the body's end (a leak there leaks once per
+// iteration); references from outside whose balance the body changed are
+// demoted — the loop may run zero or many times.
+func (in *refInterp) loopBody(body *ast.BlockStmt, st *refState, post ast.Stmt) {
+	bs := st.clone()
+	in.block(body, bs)
+	if post != nil && !bs.dead {
+		in.stmt(post, bs)
+	}
+	if !bs.dead {
+		for k, info := range bs.refs {
+			if _, preexisting := st.refs[k]; preexisting {
+				continue
+			}
+			if !info.unknown && info.obl > 0 {
+				in.reportf(info.pos,
+					"frame-buffer reference acquired by %s leaks at the end of each loop iteration: spend it before the iteration ends%s",
+					info.kind, noteSuffix(info.notes))
+			}
+		}
+	}
+	for k, pre := range st.refs {
+		if pre.unknown {
+			continue
+		}
+		if after := bs.refs[k]; after == nil || after.unknown || after.obl != pre.obl {
+			pre.unknown = true
+		}
+	}
+}
+
+func (in *refInterp) ifStmt(s *ast.IfStmt, st *refState) {
+	// `if v, owner, ok := f(); ok` with an acquiring f: the references exist
+	// only on the success branch (the failure branch got zero values).
+	okCall, okAs, okNeg := in.okGuardCall(s)
+	if s.Init != nil {
+		if okCall != nil {
+			in.exprStmtCallEffects(okCall, st)
+		} else {
+			in.stmt(s.Init, st)
+		}
+	}
+	// `if k.TryRetain()` / `if !k.TryRetain()`: the reference exists only in
+	// the guarded branch.
+	guardKey, negated, isGuard := in.tryRetainGuard(s.Cond)
+	if !isGuard && okCall == nil {
+		in.eval(s.Cond, st)
+	}
+
+	thenSt := st.clone()
+	elseSt := st.clone()
+	if isGuard {
+		pos := s.Cond.Pos()
+		if negated {
+			in.acquire(elseSt, guardKey, "TryRetain", pos)
+		} else {
+			in.acquire(thenSt, guardKey, "TryRetain", pos)
+		}
+	}
+	if okCall != nil {
+		if okNeg {
+			in.bindAcquiredInto(okAs, okCall, elseSt)
+		} else {
+			in.bindAcquiredInto(okAs, okCall, thenSt)
+		}
+	}
+	in.block(s.Body, thenSt)
+	if s.Else != nil {
+		in.stmt(s.Else, elseSt)
+	}
+	var outs []*refState
+	if !thenSt.dead {
+		outs = append(outs, thenSt)
+	}
+	if !elseSt.dead {
+		outs = append(outs, elseSt)
+	}
+	in.mergeInto(st, outs)
+}
+
+// okGuardCall matches `if a, b, ok := f(); ok` (or `; !ok`) where f's
+// summary marks results acquired and the condition is exactly the last bound
+// variable: on the failure branch the results are zero values and carry no
+// reference, so the acquisition binds only to the success branch.
+func (in *refInterp) okGuardCall(s *ast.IfStmt) (*ast.CallExpr, *ast.AssignStmt, bool) {
+	as, ok := s.Init.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 || len(as.Lhs) < 2 {
+		return nil, nil, false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil, nil, false
+	}
+	if acq, _ := in.acquiredResults(call); len(acq) == 0 {
+		return nil, nil, false
+	}
+	cond := ast.Unparen(s.Cond)
+	negated := false
+	if u, isNot := cond.(*ast.UnaryExpr); isNot && u.Op == token.NOT {
+		negated = true
+		cond = ast.Unparen(u.X)
+	}
+	condID, ok := cond.(*ast.Ident)
+	if !ok {
+		return nil, nil, false
+	}
+	lastID, ok := ast.Unparen(as.Lhs[len(as.Lhs)-1]).(*ast.Ident)
+	if !ok {
+		return nil, nil, false
+	}
+	condObj := in.e.pass.Info.Uses[condID]
+	lastObj := in.e.pass.Info.Defs[lastID]
+	if lastObj == nil {
+		lastObj = in.e.pass.Info.Uses[lastID]
+	}
+	if condObj == nil || condObj != lastObj {
+		return nil, nil, false
+	}
+	return call, as, negated
+}
+
+// bindAcquiredInto binds call's acquired results (per as's left-hand sides)
+// into bs — the ok-guarded success branch.
+func (in *refInterp) bindAcquiredInto(as *ast.AssignStmt, call *ast.CallExpr, bs *refState) {
+	acquired, kind := in.acquiredResults(call)
+	for i, lhs := range as.Lhs {
+		if !acquired[i] {
+			continue
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if id.Name == "_" {
+			in.reportf(lhs.Pos(),
+				"frame-buffer reference returned by %s is discarded into _: bind it and spend it (Release, adopt, or pass to a consumer)", kind)
+			continue
+		}
+		obj := in.e.pass.Info.Defs[id]
+		if obj == nil {
+			obj = in.e.pass.Info.Uses[id]
+		}
+		if obj != nil {
+			in.acquire(bs, refKey{root: obj}, kind, call.Pos())
+		}
+	}
+}
+
+// tryRetainGuard matches `k.TryRetain()` and `!k.TryRetain()` conditions.
+func (in *refInterp) tryRetainGuard(cond ast.Expr) (refKey, bool, bool) {
+	negated := false
+	cond = ast.Unparen(cond)
+	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		negated = true
+		cond = ast.Unparen(u.X)
+	}
+	call, ok := cond.(*ast.CallExpr)
+	if !ok {
+		return refKey{}, false, false
+	}
+	fn := staticCallee(in.e.pass.Info, call)
+	if !isRefbufBufMethod(fn, "TryRetain") {
+		return refKey{}, false, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return refKey{}, false, false
+	}
+	k := in.keyOf(sel.X)
+	if k.zero() {
+		return refKey{}, false, false
+	}
+	return k, negated, true
+}
+
+func (in *refInterp) ret(s *ast.ReturnStmt, st *refState) {
+	keys := make([]refKey, len(s.Results))
+	var acquired []int
+	for i, res := range s.Results {
+		if k := in.keyOf(res); !k.zero() {
+			if info := st.refs[k]; info != nil && !info.unknown && info.obl > 0 {
+				info.obl = 0
+				info.returned = true
+				keys[i] = k
+				continue
+			}
+		}
+		if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+			if kind := in.acquiringCall(call, st); kind != "" {
+				// Ownership flows straight through to the caller.
+				in.evalCallArgs(call, st)
+				acquired = append(acquired, i)
+				continue
+			}
+		}
+		// Evaluate first so adoption inside the returned value (an Owner
+		// field in a composite literal) spends normally; then `return *ep`
+		// transfers any reference still pinned under a mentioned root.
+		in.eval(res, st)
+		for _, id := range identsIn(res) {
+			if obj := in.e.pass.Info.Uses[id]; obj != nil {
+				in.spendRoot(st, obj, true)
+			}
+		}
+	}
+	in.recordExitKeys(st, keys, acquired)
+	st.dead = true
+}
+
+func identsIn(x ast.Node) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(x, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+func (in *refInterp) decl(s *ast.DeclStmt, st *refState) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, v := range vs.Values {
+			in.eval(v, st)
+		}
+	}
+}
+
+// assign handles bindings of acquiring calls, adoption stores into Owner
+// fields, escapes into non-local destinations, and reassignment over live
+// references.
+func (in *refInterp) assign(s *ast.AssignStmt, st *refState) {
+	// Multi-value form: a, b := f() — bind acquired results positionally.
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			in.bindMulti(s, call, st)
+			return
+		}
+	}
+	for i, rhs := range s.Rhs {
+		if i >= len(s.Lhs) {
+			break
+		}
+		in.assignOne(s.Lhs[i], rhs, st)
+	}
+}
+
+func (in *refInterp) assignOne(lhs, rhs ast.Expr, st *refState) {
+	rhsKey := in.keyOf(rhs)
+	rhsCall, _ := ast.Unparen(rhs).(*ast.CallExpr)
+
+	// Adoption: `x.Owner = ref` spends the reference into the owner field.
+	if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+		if selObj, ok := in.e.pass.Info.Selections[sel]; ok && selObj.Kind() == types.FieldVal && isRefbufPtr(selObj.Obj().Type()) {
+			if !rhsKey.zero() {
+				in.spend(st, rhsKey, rhs.Pos(), "adopted into an Owner field")
+				return
+			}
+			in.eval(rhs, st)
+			return
+		}
+	}
+
+	lhsID, lhsIsIdent := ast.Unparen(lhs).(*ast.Ident)
+	if lhsIsIdent && lhsID.Name == "_" {
+		if rhsCall != nil {
+			if kind := in.acquiringCall(rhsCall, st); kind != "" {
+				in.reportf(rhs.Pos(),
+					"frame-buffer reference returned by %s is discarded: bind it and spend it (Release, adopt, or pass to a consumer)", kind)
+				in.evalCallArgs(rhsCall, st)
+				return
+			}
+		}
+		in.eval(rhs, st)
+		return
+	}
+
+	if lhsIsIdent {
+		obj := in.e.pass.Info.Defs[lhsID]
+		isDef := obj != nil
+		if obj == nil {
+			obj = in.e.pass.Info.Uses[lhsID]
+		}
+		if obj != nil && !isDef {
+			// Plain `=` over a root holding a live reference loses it.
+			in.markRootUnknown(st, obj)
+		}
+		if rhsCall != nil {
+			if kind := in.acquiringCall(rhsCall, st); kind != "" {
+				in.evalCallArgs(rhsCall, st)
+				if obj != nil {
+					in.acquire(st, refKey{root: obj}, kind, rhs.Pos())
+				}
+				return
+			}
+		}
+		if !rhsKey.zero() {
+			// Aliasing a tracked reference under a second name: modeling two
+			// names for one obligation is beyond the tracker.
+			if info := st.refs[rhsKey]; info != nil && info.obl > 0 {
+				info.unknown = true
+			}
+			return
+		}
+		in.eval(rhs, st)
+		return
+	}
+
+	// Field, index or dereference store: the reference escapes to the heap
+	// (a struct owner now holds it — e.g. qr.owner = b — and later balance
+	// is that structure's contract, not this function's).
+	if !rhsKey.zero() {
+		if info := st.refs[rhsKey]; info != nil {
+			info.unknown = true
+		}
+		in.eval(lhs, st)
+		return
+	}
+	in.eval(lhs, st)
+	in.eval(rhs, st)
+}
+
+// bindMulti handles `a, b, ok := f(...)` where f's summary marks some
+// results acquired.
+func (in *refInterp) bindMulti(s *ast.AssignStmt, call *ast.CallExpr, st *refState) {
+	in.exprStmtCallEffects(call, st)
+	acquired, kind := in.acquiredResults(call)
+	for i, lhs := range s.Lhs {
+		if !acquired[i] {
+			continue
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if id.Name == "_" {
+			in.reportf(lhs.Pos(),
+				"frame-buffer reference returned by %s is discarded into _: bind it and spend it (Release, adopt, or pass to a consumer)", kind)
+			continue
+		}
+		obj := in.e.pass.Info.Defs[id]
+		if obj == nil {
+			obj = in.e.pass.Info.Uses[id]
+		}
+		if obj != nil {
+			in.acquire(st, refKey{root: obj}, kind, call.Pos())
+		}
+	}
+}
+
+// acquiredResults reports which result positions of call carry a reference
+// the caller inherits, with a description of the source.
+func (in *refInterp) acquiredResults(call *ast.CallExpr) (map[int]bool, string) {
+	out := map[int]bool{}
+	fn := staticCallee(in.e.pass.Info, call)
+	if fn == nil {
+		return out, ""
+	}
+	if sum := in.e.SummaryOf(fn); sum != nil {
+		for i, acq := range sum.ResultAcquired {
+			if acq {
+				out[i] = true
+			}
+		}
+		return out, "call to " + fn.Name()
+	}
+	// Cross-package fallback: the *Retained naming convention transfers a
+	// pinned buffer (core.Hermes.ReadLocalRetained and friends).
+	if strings.Contains(fn.Name(), "Retain") {
+		sig, ok := fn.Type().(*types.Signature)
+		if ok {
+			for i := 0; i < sig.Results().Len(); i++ {
+				if isRefbufPtr(sig.Results().At(i).Type()) {
+					out[i] = true
+				}
+			}
+		}
+		return out, "call to " + fn.Name()
+	}
+	return out, ""
+}
+
+// --- expression walking ----------------------------------------------------
+
+// exprStmt handles a statement-position expression; an acquiring call whose
+// result is dropped on the floor is an immediate leak.
+func (in *refInterp) exprStmt(x ast.Expr, st *refState) {
+	if call, ok := ast.Unparen(x).(*ast.CallExpr); ok {
+		if kind := in.acquiringCall(call, st); kind != "" {
+			in.reportf(call.Pos(),
+				"frame-buffer reference returned by %s is dropped: bind it and spend it (Release, adopt, or pass to a consumer)", kind)
+			in.evalCallArgs(call, st)
+			return
+		}
+		in.call(call, st)
+		return
+	}
+	in.eval(x, st)
+}
+
+// acquiringCall reports whether call's (single) result carries a fresh
+// reference, returning a description or "". It does not process the call's
+// argument effects.
+func (in *refInterp) acquiringCall(call *ast.CallExpr, st *refState) string {
+	fn := staticCallee(in.e.pass.Info, call)
+	if fn == nil {
+		return ""
+	}
+	if isRefbufPoolGet(fn) {
+		return "Pool.Get"
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 || !isRefbufPtr(sig.Results().At(0).Type()) {
+		return ""
+	}
+	if sum := in.e.SummaryOf(fn); sum != nil {
+		if len(sum.ResultAcquired) == 1 && sum.ResultAcquired[0] {
+			return "call to " + fn.Name()
+		}
+		return ""
+	}
+	if strings.Contains(fn.Name(), "Retain") {
+		return "call to " + fn.Name()
+	}
+	return ""
+}
+
+// eval walks an expression for reference effects.
+func (in *refInterp) eval(x ast.Expr, st *refState) {
+	switch x := x.(type) {
+	case nil:
+		return
+	case *ast.CallExpr:
+		in.call(x, st)
+	case *ast.CompositeLit:
+		in.compositeLit(x, st)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if k := in.keyOf(x.X); !k.zero() {
+				in.markRootUnknown(st, k.root)
+			}
+		}
+		in.eval(x.X, st)
+	case *ast.FuncLit:
+		// Closure capture: references used inside may be spent at any later
+		// time (or never) — beyond the tracker.
+		for _, id := range identsIn(x.Body) {
+			if obj := in.e.pass.Info.Uses[id]; obj != nil {
+				for k, info := range st.refs {
+					if k.root == obj && info.obl > 0 {
+						info.unknown = true
+					}
+				}
+			}
+		}
+	case *ast.ParenExpr:
+		in.eval(x.X, st)
+	case *ast.BinaryExpr:
+		in.eval(x.X, st)
+		in.eval(x.Y, st)
+	case *ast.SelectorExpr:
+		in.eval(x.X, st)
+	case *ast.IndexExpr:
+		in.eval(x.X, st)
+		in.eval(x.Index, st)
+	case *ast.SliceExpr:
+		in.eval(x.X, st)
+	case *ast.StarExpr:
+		in.eval(x.X, st)
+	case *ast.TypeAssertExpr:
+		in.eval(x.X, st)
+	case *ast.KeyValueExpr:
+		in.eval(x.Value, st)
+	}
+}
+
+// compositeLit scans a literal for Owner-field adoption of tracked
+// references.
+func (in *refInterp) compositeLit(lit *ast.CompositeLit, st *refState) {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			in.eval(el, st)
+			continue
+		}
+		if _, isField := kv.Key.(*ast.Ident); isField {
+			if vk := in.keyOf(kv.Value); !vk.zero() {
+				// Any *refbuf.Buf field adopts: the struct's contract owns
+				// the reference from here (queuedResp.owner, Entry.Owner).
+				if tv, tok := in.e.pass.Info.Types[kv.Value]; tok && isRefbufPtr(tv.Type) {
+					in.spend(st, vk, kv.Value.Pos(), "adopted into an owner field")
+					continue
+				}
+			}
+		}
+		in.eval(kv.Value, st)
+	}
+}
+
+// call processes one call's reference effects: refbuf primitives, consuming
+// callees (by summary or by the cross-package allowlist), and the reported
+// assumption for everything else.
+func (in *refInterp) call(call *ast.CallExpr, st *refState) {
+	if isConversion(in.e.pass.Info, call) || isBuiltinCall(in.e.pass.Info, call, "") {
+		in.evalCallArgs(call, st)
+		return
+	}
+	fn := staticCallee(in.e.pass.Info, call)
+	sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+
+	// refbuf primitives on a trackable receiver.
+	if fn != nil && sel != nil {
+		recvKey := in.keyOf(sel.X)
+		switch {
+		case isRefbufBufMethod(fn, "Retain"):
+			if !recvKey.zero() {
+				in.acquire(st, recvKey, "Retain", call.Pos())
+			}
+			return
+		case isRefbufBufMethod(fn, "TryRetain"):
+			// Outside an if-guard the success/failure split is unmodeled.
+			if !recvKey.zero() {
+				in.markUnknown(st, recvKey)
+			}
+			return
+		case isRefbufBufMethod(fn, "Release"):
+			if !recvKey.zero() {
+				in.spend(st, recvKey, call.Pos(), "released")
+			}
+			return
+		}
+	}
+
+	in.exprStmtCallEffects(call, st)
+}
+
+// exprStmtCallEffects applies a call's effects on its tracked arguments.
+func (in *refInterp) exprStmtCallEffects(call *ast.CallExpr, st *refState) {
+	fn := staticCallee(in.e.pass.Info, call)
+	sum := in.e.SummaryOf(fn)
+	for i, arg := range call.Args {
+		k := in.keyOf(arg)
+		if k.zero() {
+			in.eval(arg, st)
+			continue
+		}
+		info := st.refs[k]
+		if info == nil || info.unknown || info.obl == 0 {
+			continue
+		}
+		switch {
+		case sum != nil && i < len(sum.ConsumesParam) && sum.ConsumesParam[i]:
+			in.spend(st, k, arg.Pos(), "consumed by "+fn.Name())
+		case fn != nil && isKnownConsumer(fn):
+			in.spend(st, k, arg.Pos(), "consumed by "+fn.Name())
+		case fn == nil:
+			info.notes = mergeNotes(info.notes,
+				[]string{"passed to a dynamic callee, conservatively assumed to consume nothing"})
+		case sum == nil:
+			info.notes = mergeNotes(info.notes,
+				[]string{"passed to " + fn.Name() + ", which has no body here and is assumed to consume nothing"})
+		default:
+			info.notes = mergeNotes(info.notes,
+				[]string{fn.Name() + " does not consume its argument"})
+		}
+	}
+}
+
+func (in *refInterp) evalCallArgs(call *ast.CallExpr, st *refState) {
+	for _, arg := range call.Args {
+		in.eval(arg, st)
+	}
+}
+
+// deferStmt handles deferred calls. A deferred Release (or consuming call)
+// is a spend that happens at every exit — modeling it as an immediate spend
+// is exact for balance purposes and makes defer-plus-explicit a
+// double-release finding. Any other deferred call referencing tracked
+// references demotes them (execution order is beyond the tracker).
+func (in *refInterp) deferStmt(s *ast.DeferStmt, st *refState) {
+	call := s.Call
+	fn := staticCallee(in.e.pass.Info, call)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isRefbufBufMethod(fn, "Release") {
+		if k := in.keyOf(sel.X); !k.zero() {
+			in.spend(st, k, call.Pos(), "released (deferred)")
+			return
+		}
+	}
+	if fn != nil && isKnownConsumer(fn) {
+		for _, arg := range call.Args {
+			if k := in.keyOf(arg); !k.zero() {
+				in.spend(st, k, arg.Pos(), "consumed by deferred "+fn.Name())
+			}
+		}
+		return
+	}
+	in.escapeAll(call, st)
+}
+
+// escapeAll demotes every tracked reference a go-statement's call (args and
+// closure body) mentions.
+func (in *refInterp) escapeAll(call *ast.CallExpr, st *refState) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := in.e.pass.Info.Uses[id]; obj != nil {
+				for k, info := range st.refs {
+					if k.root == obj && info.obl > 0 {
+						info.unknown = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isKnownConsumer is the cross-package allowlist of functions documented to
+// spend their argument's frame references (wings.Link.Send's contract, the
+// drop-path helper).
+func isKnownConsumer(fn *types.Func) bool {
+	switch fn.Name() {
+	case "ReleaseMsgOwners", "ReleaseOwner":
+		return true
+	}
+	return false
+}
+
+// isRefbufBufMethod reports whether fn is refbuf.Buf's method name (matched
+// by package and receiver name so golden stand-ins qualify).
+func isRefbufBufMethod(fn *types.Func, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Name() != "refbuf" {
+		return false
+	}
+	return recvTypeName(fn) == "Buf"
+}
+
+// isRefbufPoolGet reports whether fn is refbuf.Pool.Get.
+func isRefbufPoolGet(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "Get" || fn.Pkg() == nil || fn.Pkg().Name() != "refbuf" {
+		return false
+	}
+	return recvTypeName(fn) == "Pool"
+}

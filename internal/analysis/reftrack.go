@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RefTrackAnalyzer enforces the refbuf ownership contract interprocedurally:
+// every frame-buffer reference a function acquires — Retain, a TryRetain
+// guard, Pool.Get, or a call whose summary returns a retained buffer — must
+// be spent exactly once on every path: released, adopted into an Owner
+// field, passed to a consuming call (known by summary within the package, or
+// by the documented cross-package allowlist: ReleaseMsgOwners,
+// ReleaseOwner), or returned to the caller.
+//
+// This is the engine-backed successor to the blind spot bufown documents:
+// bufown "cannot see a clone behind a helper call (which is why any wrapping
+// call passes)". reftrack's summaries close both directions of that gap:
+//
+//   - a same-package helper that consumes its argument is recognized, so
+//     passing a reference to it balances the books (no false leak);
+//   - a same-package helper that does NOT clone is recognized too: a value
+//     escaping into an owner-less destination through such a helper is
+//     reported (the aliasing summary), where bufown's lexical rule gave any
+//     call a free pass.
+//
+// Unknown callees — dynamic calls, interface methods, cross-package
+// functions with no body here — are conservatively assumed to consume
+// nothing, and that assumption is carried into the diagnostic text rather
+// than silently weakening the verdict.
+var RefTrackAnalyzer = &Analyzer{
+	Name: "reftrack",
+	Doc:  "frame-buffer references must be spent exactly once on every path (leaks and double releases, across call boundaries)",
+	Run:  runRefTrack,
+}
+
+func runRefTrack(pass *Pass) {
+	eng := NewEngine(pass)
+	for _, fn := range eng.Order() {
+		decl := eng.Decls()[fn]
+		if decl.Body == nil {
+			continue
+		}
+		checkRefBalance(pass, eng, decl)
+		// Function literals run their own balance scope (a closure may
+		// legitimately spend at a later time, so references crossing the
+		// boundary are unknown — but references acquired INSIDE the literal
+		// must still balance inside it).
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				checkRefBalanceBody(pass, eng, fl.Body)
+			}
+			return true
+		})
+	}
+	checkAliasEscapes(pass, eng)
+}
+
+func checkRefBalance(pass *Pass, eng *Engine, decl *ast.FuncDecl) {
+	checkRefBalanceBody(pass, eng, decl.Body)
+}
+
+func checkRefBalanceBody(pass *Pass, eng *Engine, body *ast.BlockStmt) {
+	in := newRefInterp(eng, func(pos token.Pos, format string, args ...any) {
+		pass.Reportf(pos, format, args...)
+	})
+	st := in.newState()
+	in.block(body, st)
+	if !st.dead {
+		in.recordExit(st, nil)
+	}
+	for _, ex := range in.exits {
+		for _, info := range ex.state.refs {
+			if info.unknown || info.obl == 0 {
+				continue
+			}
+			in.reportf(info.pos,
+				"frame-buffer reference acquired by %s is never spent on some path: release it, adopt it into an Owner field, or pass it to a consuming call%s",
+				info.kind, noteSuffix(info.notes))
+		}
+	}
+}
+
+// checkAliasEscapes is the interprocedural owner-escape check: a value that
+// reaches an owner-less destination through a same-package helper whose
+// summary says "result aliases parameter j without a clone" escapes the
+// pooled bytes exactly as if it had been stored directly — the shape bufown
+// documents as invisible.
+func checkAliasEscapes(pass *Pass, eng *Engine) {
+	for _, fn := range eng.Order() {
+		decl := eng.Decls()[fn]
+		if decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				tv, ok := pass.Info.Types[n]
+				if !ok {
+					return true
+				}
+				lt := tv.Type
+				if p, ok := lt.Underlying().(*types.Pointer); ok {
+					lt = p.Elem()
+				}
+				if ownerBearing(lt) {
+					return true // destination carries the owner; adoption is fine
+				}
+				for _, el := range n.Elts {
+					val := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						val = kv.Value
+					}
+					reportAliasingCall(pass, eng, val, "a composite literal without an Owner field")
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					s, ok := pass.Info.Selections[sel]
+					if !ok || s.Kind() != types.FieldVal {
+						continue
+					}
+					if ownerBearing(s.Recv()) {
+						continue
+					}
+					reportAliasingCall(pass, eng, n.Rhs[i], "a struct field with no accompanying owner")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportAliasingCall reports val when it is a call to a same-package helper
+// whose result aliases an owner-carrying argument's bytes without a clone.
+func reportAliasingCall(pass *Pass, eng *Engine, val ast.Expr, dest string) {
+	call, ok := ast.Unparen(val).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	callee := staticCallee(pass.Info, call)
+	sum := eng.SummaryOf(callee)
+	if sum == nil {
+		return
+	}
+	for ri, pi := range sum.ResultAliasesParam {
+		if ri != 0 || pi < 0 || pi >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[pi]
+		if !aliasesOwnedValue(pass, arg) {
+			continue
+		}
+		pass.Reportf(val.Pos(),
+			"value escaping into %s comes through %s, which returns its argument's bytes without a clone: the pooled frame buffer can be recycled under the reader (clone before storing, or carry the owner)",
+			dest, callee.Name())
+	}
+}
+
+// aliasesOwnedValue reports whether expr's bytes may belong to a pooled
+// frame buffer: the Value field of an owner-bearing struct, or a slice or
+// index thereof.
+func aliasesOwnedValue(pass *Pass, expr ast.Expr) bool {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		return ownedValueSel(pass.Info, x)
+	case *ast.SliceExpr:
+		return aliasesOwnedValue(pass, x.X)
+	case *ast.IndexExpr:
+		return aliasesOwnedValue(pass, x.X)
+	case *ast.Ident:
+		if tv, ok := pass.Info.Types[x]; ok && ownerBearing(tv.Type) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+// Golden cases for creditflow's classifier-agreement check: the one-way and
+// response classifiers must answer true for disjoint concrete types, and a
+// batch is classified by ALL of its members.
+package transport
+
+type VAL struct{}
+type ACK struct{}
+type INV struct{}
+
+type Batch struct {
+	Msgs []any
+}
+
+func isOneWay(m any) bool {
+	if b, ok := m.(Batch); ok {
+		for _, sm := range b.Msgs {
+			if isOneWay(sm) {
+				return true // want `classified by ALL members`
+			}
+		}
+		return false
+	}
+	switch m.(type) {
+	case VAL, ACK: // want `ACK is classified true by both isOneWay and isResponse`
+		return true
+	}
+	return false
+}
+
+func isResponse(m any) bool {
+	// green: the batch arm uses all-member semantics (false on the first
+	// mismatch, true only after the loop).
+	if b, ok := m.(Batch); ok {
+		for _, sm := range b.Msgs {
+			if !isResponse(sm) {
+				return false
+			}
+		}
+		return len(b.Msgs) > 0
+	}
+	if _, ok := m.(ACK); ok {
+		return true
+	}
+	return false
+}

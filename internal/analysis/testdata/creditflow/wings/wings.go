@@ -1,0 +1,60 @@
+// Golden cases for creditflow's debit/refund path check: every debited
+// credit must be consumed by a successful send (return nil) or refunded on
+// the path that fails.
+package wings
+
+import "errors"
+
+var errEncode = errors.New("encode failed")
+
+type Link struct {
+	credits int
+}
+
+// red: debit, then an error return with no refund — the PR 2 leak shape.
+func (l *Link) SendLeaky(cost int) error {
+	l.credits -= cost
+	return errEncode // want `error path returns without refunding the debited credit`
+}
+
+// green: the error path refunds before returning.
+func (l *Link) SendRefunds(cost int) error {
+	l.credits -= cost
+	if cost > 0 {
+		l.credits += cost
+		return errEncode
+	}
+	return nil
+}
+
+// refund is a same-package helper whose engine summary refunds.
+func (l *Link) refund(n int) { l.credits += n }
+
+// green: the refund arrives through the helper (interprocedural summary).
+func (l *Link) SendHelperRefund(cost int) error {
+	l.credits -= cost
+	if cost > 0 {
+		l.refund(cost)
+		return errEncode
+	}
+	return nil
+}
+
+// red: two refunds after a single debit — the PR 2 double-repay shape.
+func (l *Link) SendDoubleRepay(cost int) error {
+	l.credits -= cost
+	l.credits += cost
+	l.credits += cost // want `credit refunded more than once after a single debit`
+	return errEncode
+}
+
+// green: no error result means no error path to audit.
+func (l *Link) Debit(cost int) {
+	l.credits -= cost
+}
+
+// ignore: the caller repays on this link's behalf (documented contract).
+func (l *Link) SendWaived(cost int) error {
+	l.credits -= cost
+	return errEncode //hermesvet:ignore creditflow the caller repays on our behalf after requeueing the frame
+}

@@ -1,0 +1,99 @@
+// Golden cases for lockorder's blocking-while-holding check.
+package app
+
+import (
+	"sync"
+	"time"
+)
+
+type Server struct {
+	mu   sync.Mutex
+	data chan int
+}
+
+// red: a sleep inside the critical section.
+func (s *Server) SleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding Server.mu`
+	s.mu.Unlock()
+}
+
+// red: a deferred Unlock keeps the lock held for the whole body.
+func (s *Server) RecvUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.data // want `channel receive while holding Server.mu`
+}
+
+// red: an unbuffered send stalls every contender if the reader is slow.
+func (s *Server) UnbufferedSend(v int) {
+	s.mu.Lock()
+	s.data <- v // want `channel send without provable buffer headroom while holding Server.mu`
+	s.mu.Unlock()
+}
+
+// red: a default-less select parks the holder.
+func (s *Server) SelectUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without a default case while holding Server.mu`
+	case v := <-s.data:
+		return v
+	}
+}
+
+// red: the blocking operation hides one call deep (engine summary).
+func (s *Server) waitForData() int {
+	return <-s.data
+}
+
+func (s *Server) IndirectBlock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.waitForData() // want `waitForData may block: channel receive`
+}
+
+// green: the lock is released before the receive.
+func (s *Server) UnlockFirst() int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return <-s.data
+}
+
+// green: a local cap-1 channel has provable headroom for its one send.
+func (s *Server) BufferedSend(v int) int {
+	done := make(chan int, 1)
+	s.mu.Lock()
+	done <- v
+	s.mu.Unlock()
+	return <-done
+}
+
+// green: select with a default never parks.
+func (s *Server) OfferUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.data <- v:
+	default:
+	}
+}
+
+// green: Cond.Wait atomically releases the mutex it coordinates with.
+type Queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func (q *Queue) WaitReady() {
+	q.mu.Lock()
+	q.cond.Wait()
+	q.mu.Unlock()
+}
+
+// ignore: a receive the surrounding protocol bounds.
+func (s *Server) Waived() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.data //hermesvet:ignore lockorder the producer is on the same goroutine pool and never parks
+}

@@ -1,0 +1,78 @@
+// Golden cases for lockorder's acquisition-order cycle check.
+package order
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// red pair: lockAB takes A.mu → B.mu, lockBA takes B.mu → A.mu.
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-acquisition-order cycle: A.mu → B.mu → A.mu`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// green pair: both callers agree on C.mu before D.mu.
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+func lockCD(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// green: the D.mu acquisition arrives through a helper's summary, in the
+// same C-before-D order.
+func lockCDViaHelper(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d)
+	c.mu.Unlock()
+}
+
+// red pair: the same inversion, with one side's acquisition hidden behind a
+// helper call (the edge comes from the engine summary).
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+func grabF(f *F) {
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+func eThenF(e *E, f *F) {
+	e.mu.Lock()
+	grabF(f) // want `lock-acquisition-order cycle: E.mu → F.mu → E.mu`
+	e.mu.Unlock()
+}
+
+func fThenE(e *E, f *F) {
+	f.mu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	f.mu.Unlock()
+}
+
+// green: two instances of one type share a lock identity; ordering them is
+// out of scope (no self-edge, no report).
+func transfer(src, dst *C) {
+	src.mu.Lock()
+	dst.mu.Lock()
+	dst.mu.Unlock()
+	src.mu.Unlock()
+}

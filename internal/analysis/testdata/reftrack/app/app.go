@@ -1,0 +1,286 @@
+// Golden cases for reftrack: every acquired frame-buffer reference must be
+// spent exactly once on every path. Red cases carry want comments; green
+// cases carry none and fail the test if the analyzer overreaches.
+package app
+
+import "vettest/reftrack/refbuf"
+
+var pool refbuf.Pool
+
+// Entry is the owner-bearing shape (Value + Owner *refbuf.Buf).
+type Entry struct {
+	Value []byte
+	Owner *refbuf.Buf
+}
+
+// Msg carries bytes with no owner — escaping pooled bytes into it needs a
+// clone.
+type Msg struct {
+	Data []byte
+}
+
+func use(b *refbuf.Buf) {}
+
+// --- red: straight leaks ---------------------------------------------------
+
+func leak() {
+	b := pool.Get(64) // want `reference acquired by Pool.Get.*is never spent`
+	_ = b
+}
+
+func dropped() {
+	pool.Get(8) // want `reference returned by Pool.Get is dropped`
+}
+
+func loopLeak(n int) {
+	for i := 0; i < n; i++ {
+		b := pool.Get(8) // want `leaks at the end of each loop iteration`
+		_ = b
+	}
+}
+
+// --- red: double release ---------------------------------------------------
+
+func double() {
+	b := pool.Get(64)
+	b.Release()
+	b.Release() // want `double release`
+}
+
+func deferredDouble() {
+	b := pool.Get(64)
+	defer b.Release()
+	b.Release() // want `double release`
+}
+
+// --- red: path imbalance ---------------------------------------------------
+
+func imbalance(cond bool) {
+	b := pool.Get(64) // want `spent on some paths but not others`
+	if cond {
+		b.Release()
+	}
+}
+
+// --- green: balanced shapes ------------------------------------------------
+
+func balanced() {
+	b := pool.Get(64)
+	defer b.Release()
+	use(b)
+}
+
+func balancedBranches(cond bool) {
+	b := pool.Get(64)
+	if cond {
+		b.Release()
+	} else {
+		b.Release()
+	}
+}
+
+func tryRetainGuard(b *refbuf.Buf) {
+	if b.TryRetain() {
+		b.Release()
+	}
+}
+
+func tryRetainNegated(b *refbuf.Buf) {
+	if !b.TryRetain() {
+		return
+	}
+	b.Release()
+}
+
+func adoptLiteral(data []byte) Entry {
+	b := pool.Get(len(data))
+	return Entry{Value: data, Owner: b}
+}
+
+func adoptField(e *Entry) {
+	b := pool.Get(8)
+	e.Owner = b
+}
+
+// getRetained transfers its reference to the caller (ResultAcquired).
+func getRetained() *refbuf.Buf {
+	b := pool.Get(8)
+	return b
+}
+
+func callerReleases() {
+	b := getRetained()
+	b.Release()
+}
+
+// --- red: acquiring helper, caller drops -----------------------------------
+
+func callerLeaks() {
+	b := getRetained() // want `reference acquired by call to getRetained.*is never spent`
+	_ = b
+}
+
+// --- interprocedural consumption (fixpoint) --------------------------------
+
+// consume spends its argument: callers passing a reference are balanced.
+func consume(b *refbuf.Buf) {
+	b.Release()
+}
+
+func viaConsumingHelper() {
+	b := pool.Get(8)
+	consume(b)
+}
+
+// note does NOT spend its argument; passing is not spending, and the
+// assumption is carried into the leak report.
+func note(b *refbuf.Buf) {}
+
+func leakThroughHelper() {
+	b := pool.Get(8) // want `never spent.*note does not consume its argument`
+	note(b)
+}
+
+// --- fixpoint: recursion and mutual recursion ------------------------------
+
+// consumeRec consumes through recursion: the optimistic fixpoint keeps the
+// recursive call consuming, and the base case proves it.
+func consumeRec(b *refbuf.Buf, n int) {
+	if n == 0 {
+		b.Release()
+		return
+	}
+	consumeRec(b, n-1)
+}
+
+func recursionGreen() {
+	b := pool.Get(8)
+	consumeRec(b, 3)
+}
+
+func pingConsume(b *refbuf.Buf, n int) {
+	if n <= 0 {
+		b.Release()
+		return
+	}
+	pongConsume(b, n-1)
+}
+
+func pongConsume(b *refbuf.Buf, n int) {
+	if n <= 0 {
+		b.Release()
+		return
+	}
+	pingConsume(b, n-1)
+}
+
+func mutualRecursionGreen() {
+	b := pool.Get(8)
+	pingConsume(b, 4)
+}
+
+// spin never spends its argument on the base path, so the fixpoint refines
+// its optimistic "consumes" down to "does not".
+func spin(b *refbuf.Buf, n int) {
+	if n == 0 {
+		return
+	}
+	spin(b, n-1)
+}
+
+func recursionRed() {
+	b := pool.Get(8) // want `never spent.*spin does not consume its argument`
+	spin(b, 3)
+}
+
+// --- conservative fallbacks are reported assumptions, not silent passes ----
+
+func dynamicCallee(f func(*refbuf.Buf)) {
+	b := pool.Get(8) // want `never spent.*dynamic callee, conservatively assumed to consume nothing`
+	f(b)
+}
+
+type Sink interface {
+	Push(b *refbuf.Buf)
+}
+
+func interfaceCallee(s Sink) {
+	b := pool.Get(8) // want `never spent.*assumed to consume nothing`
+	s.Push(b)
+}
+
+// --- the bufown blind spot: no-clone aliasing through a helper -------------
+
+// passthrough returns its argument's bytes unchanged — no clone. bufown's
+// lexical rule gives any wrapping call a free pass; the aliasing summary
+// does not.
+func passthrough(v []byte) []byte { return v }
+
+func hiddenNoClone(e Entry) Msg {
+	return Msg{Data: passthrough(e.Value)} // want `passthrough, which returns its argument's bytes without a clone`
+}
+
+func hiddenNoCloneAssign(e Entry, m *Msg) {
+	m.Data = passthrough(e.Value) // want `passthrough, which returns its argument's bytes without a clone`
+}
+
+// clone actually copies, so the same shape is green.
+func clone(v []byte) []byte { return append([]byte(nil), v...) }
+
+func clonedEscape(e Entry) Msg {
+	return Msg{Data: clone(e.Value)}
+}
+
+// safeVal is the conditional-clone idiom: it clones exactly when the bytes
+// are pooled, so the fall-through return aliases only unpooled bytes and
+// escaping its result is green.
+func safeVal(e Entry) []byte {
+	if e.Owner != nil {
+		return clone(e.Value)
+	}
+	return e.Value
+}
+
+func conditionalCloneEscape(e Entry) Msg {
+	return Msg{Data: safeVal(e)}
+}
+
+// --- comma-ok acquisition guard --------------------------------------------
+
+// lookupRetained acquires only on success (the bool reports it).
+func lookupRetained(hit bool) ([]byte, *refbuf.Buf, bool) {
+	if !hit {
+		return nil, nil, false
+	}
+	b := pool.Get(8)
+	return nil, b, true
+}
+
+// green: the reference exists only on the ok branch, where the literal's
+// unexported owner field adopts it.
+type queued struct {
+	data  []byte
+	owner *refbuf.Buf
+}
+
+func okGuardAdopt(hit bool) *queued {
+	if v, owner, ok := lookupRetained(hit); ok {
+		return &queued{data: v, owner: owner}
+	}
+	return nil
+}
+
+// red: the ok branch drops the acquired reference.
+func okGuardLeak(hit bool) []byte {
+	if v, _, ok := lookupRetained(hit); ok { // want `reference returned by call to lookupRetained is discarded into _`
+		return v
+	}
+	return nil
+}
+
+// --- ignore directive ------------------------------------------------------
+
+func waived() {
+	b := pool.Get(8) //hermesvet:ignore reftrack golden case exercising suppression of a deliberate leak
+	_ = b
+}

@@ -1,0 +1,29 @@
+// Package refbuf is the golden stand-in for the repository's refcounted
+// buffer package: reftrack matches Retain/TryRetain/Release/Pool.Get by
+// package, receiver and method name, so this minimal shape is all the
+// analyzer needs.
+package refbuf
+
+// Buf is a refcounted pooled buffer.
+type Buf struct{ refs int32 }
+
+// Retain adds a reference.
+func (b *Buf) Retain() { b.refs++ }
+
+// TryRetain adds a reference unless the buffer is already released.
+func (b *Buf) TryRetain() bool {
+	if b.refs > 0 {
+		b.refs++
+		return true
+	}
+	return false
+}
+
+// Release drops one reference.
+func (b *Buf) Release() { b.refs-- }
+
+// Pool hands out buffers with one reference already held.
+type Pool struct{}
+
+// Get returns a buffer the caller owns one reference to.
+func (p *Pool) Get(n int) *Buf { return &Buf{refs: 1} }
